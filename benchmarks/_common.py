@@ -1,0 +1,29 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark (one per table/figure of the paper, plus one per cost lemma)
+runs its experiment once under ``benchmark.pedantic``, writes the resulting
+table to ``benchmarks/results/<name>.txt``, records headline numbers in
+``benchmark.extra_info``, and asserts the paper's *shape* claims (scaling
+exponents, who wins, crossovers) — absolute constants are implementation-
+specific and are not asserted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist a benchmark's output table; also echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

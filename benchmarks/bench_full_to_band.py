@@ -1,0 +1,94 @@
+"""Lemma IV.1 — 2.5D full-to-band: the √c communication win.
+
+The paper's central mechanism.  At fixed p and n, sweeping the replication
+factor c must (a) reduce W monotonically up to c ≈ p^{1/3}, (b) inflate the
+per-rank memory footprint by ~c, and (c) show the U-shape beyond the
+feasible range (replication traffic overtakes the savings — the reason the
+paper restricts c ≤ p^{1/3}).  A small-cache run must pay the conditional
+vertical term.
+"""
+
+import numpy as np
+
+from repro.bsp import BSPMachine, MachineParams
+from repro.dist.grid import ProcGrid
+from repro.eig.full_to_band import full_to_band_2p5d
+from repro.report.tables import format_table
+from repro.util.matrices import random_symmetric
+from repro.util.validation import matrix_bandwidth
+
+from repro.report.svg import line_chart, save_svg
+
+from _common import RESULTS_DIR, run_once, write_result
+
+N, B = 768, 96
+P = 256
+GRIDS = [(16, 16, 1), (8, 8, 4), (4, 4, 16), (2, 2, 64)]
+
+
+def run_experiment():
+    a = random_symmetric(N, seed=4)
+    rows = []
+    outs = []
+    for shape in GRIDS:
+        mach = BSPMachine(P)
+        grid = ProcGrid(mach, shape)
+        out = full_to_band_2p5d(mach, grid, a, B)
+        rep = mach.cost()
+        rows.append([f"{shape}", shape[2], rep.W, rep.M, rep.S, rep.F])
+        outs.append(out)
+    # Cache sweep on the c=4 grid.
+    q_rows = []
+    for label, cache in [("large H", 1e12), ("small H", 1e3)]:
+        mach = BSPMachine(P, MachineParams(cache_words=cache))
+        grid = ProcGrid(mach, (8, 8, 4))
+        full_to_band_2p5d(mach, grid, a, B)
+        q_rows.append([label, mach.cost().Q])
+    return a, rows, outs, q_rows
+
+
+def test_full_to_band(benchmark):
+    a, rows, outs, q_rows = run_once(benchmark, run_experiment)
+    table = format_table(
+        ["grid", "c", "W", "M (peak/rank)", "S", "F"],
+        rows,
+        title=f"Lemma IV.1: replication sweep (n={N}, b={B}, p={P})",
+    )
+    q_table = format_table(["cache", "Q"], q_rows, title="conditional vertical term")
+    write_result("lemma_IV1_full_to_band", table + "\n\n" + q_table)
+
+    ref = np.linalg.eigvalsh(a)
+    for out in outs:
+        assert matrix_bandwidth(out) <= B
+        assert np.abs(np.linalg.eigvalsh(out) - ref).max() < 1e-8 * max(1, abs(ref).max())
+
+    ws = [r[2] for r in rows]
+    ms = [r[3] for r in rows]
+    # (a) W decreases with c through the feasible range (c <= p^(1/3) ~ 6.3).
+    assert ws[1] < ws[0], f"c=4 must beat c=1: {ws}"
+    # (b) memory grows with replication.
+    assert ms[1] > 2 * ms[0]
+    assert ms[2] > 2 * ms[1]
+    # (c) far beyond the feasible c the benefit is gone or reversed
+    # (replication traffic ~ c·n²/p dominates): c=64 must not keep winning
+    # at the sqrt rate.
+    ideal_gain = np.sqrt(64)
+    actual_gain = ws[0] / ws[3]
+    assert actual_gain < 0.6 * ideal_gain, "the c <= p^{1/3} constraint must bite"
+    save_svg(
+        RESULTS_DIR / "full_to_band_c_sweep.svg",
+        line_chart(
+            {"measured W": [(r[1], r[2]) for r in rows],
+             "ideal W(c=1)/sqrt(c)": [(r[1], rows[0][2] / np.sqrt(r[1])) for r in rows]},
+            title=f"Lemma IV.1: W vs replication c (n={N}, p={P})",
+            xlabel="c", ylabel="W (words per rank)",
+        ),
+    )
+    benchmark.extra_info["gain_c4"] = ws[0] / ws[1]
+    benchmark.extra_info["gain_c16"] = ws[0] / ws[2]
+    benchmark.extra_info["gain_c64"] = ws[0] / ws[3]
+    # Cache condition: the small-H surplus matches the conditional term
+    # O(ν·(n/b)·n²/q²) of Lemma IV.1 (q = 8 on the (8,8,4) grid).
+    extra_q = q_rows[1][1] - q_rows[0][1]
+    predicted = (N / B) * N * N / 8**2
+    assert extra_q > 0.4 * predicted, (extra_q, predicted)

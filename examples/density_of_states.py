@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Density of states of a disordered 2-D tight-binding lattice.
+
+An eigenvalues-only workload (the regime the paper's algorithm is built
+for — no back-transformation needed): compute the full spectrum of an
+Anderson-model Hamiltonian on an L×L lattice,
+
+    H = -t · (hopping between 4-neighbours) + diag(uniform disorder in [-W, W]),
+
+and histogram it into the density of states (DOS).  With disorder the clean
+lattice's Van Hove singularity at E = 0 smears out — visible directly in the
+ASCII histogram.  The eigensolver runs on the simulated machine, so the
+example also reports what the spectrum *cost* in BSP terms.
+
+Run:  python examples/density_of_states.py
+"""
+
+import numpy as np
+
+from repro import BSPMachine, eigensolve_2p5d
+from repro.report.tables import format_table
+
+
+def anderson_hamiltonian(side: int, disorder: float, seed: int = 0) -> np.ndarray:
+    """L×L square lattice with periodic boundaries and diagonal disorder."""
+    n = side * side
+    rng = np.random.default_rng(seed)
+    h = np.zeros((n, n))
+
+    def site(i: int, j: int) -> int:
+        return (i % side) * side + (j % side)
+
+    for i in range(side):
+        for j in range(side):
+            s = site(i, j)
+            for di, dj in ((0, 1), (1, 0)):
+                t = site(i + di, j + dj)
+                h[s, t] = h[t, s] = -1.0
+    h[np.arange(n), np.arange(n)] = rng.uniform(-disorder, disorder, n)
+    return h
+
+
+def ascii_histogram(values: np.ndarray, bins: int = 25, width: int = 48) -> str:
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max()
+    lines = []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / peak)) if peak else ""
+        lines.append(f"{lo:+7.2f} .. {hi:+7.2f} | {bar} {c}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    side, p = 14, 16  # 196 orbitals on 16 simulated processors
+    rows = []
+    for disorder in (0.0, 4.0):
+        h = anderson_hamiltonian(side, disorder)
+        machine = BSPMachine(p)
+        result = eigensolve_2p5d(machine, h, delta=2.0 / 3.0, collect_stages=False)
+        evals = result.eigenvalues
+        print(f"\ndisorder W = {disorder}: spectrum in [{evals[0]:+.3f}, {evals[-1]:+.3f}]")
+        print(ascii_histogram(evals))
+        rows.append([disorder, result.cost.W, result.cost.S, f"{evals[-1] - evals[0]:.3f}"])
+        # sanity: exact spectrum
+        assert np.abs(evals - np.linalg.eigvalsh(h)).max() < 1e-8
+    print()
+    print(format_table(
+        ["disorder", "W (words)", "S (supersteps)", "bandwidth of spectrum"],
+        rows,
+        title=f"cost of each spectrum (n = {side * side}, p = {p})",
+    ))
+    print("\nnote the clean lattice's central (Van Hove) peak flattening under disorder")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Electronic-structure workload: a self-consistent-field (SCF) loop.
+
+The paper's introduction motivates scalable symmetric eigensolvers with
+electronic-structure methods (Hartree–Fock), which diagonalize a *sequence*
+of symmetric Fock matrices.  This example runs a simplified closed-shell
+SCF on a model Hamiltonian:
+
+    F(D) = H_core + g * (2·J(D) − K(D)),
+
+with a tight-binding core on a ring and schematic Coulomb/exchange terms
+built from the density matrix D of the n_occ lowest orbitals.  Every SCF
+iteration solves a dense symmetric eigenproblem with the 2.5D solver for
+its eigenvalues — plus one small dense solve for the occupied eigenvectors
+(the paper's algorithm computes eigenvalues; eigenvectors via
+back-transformation are its stated future work, so the reference vectors
+come from the sequential path here).
+
+The point of the example: the *cumulative* communication cost over an SCF
+run is dominated by the eigensolver, and switching the solver from the 2-D
+(c = 1) to the replicated (c = p^{1/3}) configuration cuts the measured
+words moved — the end-to-end effect the paper promises for this workload.
+
+Run:  python examples/electronic_structure.py
+"""
+
+import numpy as np
+
+from repro import BSPMachine, eigensolve_2p5d
+from repro.util import random_symmetric
+
+
+def core_hamiltonian(n: int, seed: int = 7) -> np.ndarray:
+    """Tight-binding ring with mild random disorder."""
+    rng = np.random.default_rng(seed)
+    h = np.zeros((n, n))
+    idx = np.arange(n)
+    h[idx, idx] = rng.uniform(-0.5, 0.5, n)
+    h[idx, (idx + 1) % n] = -1.0
+    h[(idx + 1) % n, idx] = -1.0
+    return h
+
+
+def coulomb_exchange(d: np.ndarray, seed: int = 8) -> tuple[np.ndarray, np.ndarray]:
+    """Schematic two-electron terms: J from the density's diagonal through a
+    fixed positive kernel, K as a damped congruence of D."""
+    n = d.shape[0]
+    rng = np.random.default_rng(seed)
+    kernel = np.abs(rng.standard_normal((n, n))) / n
+    kernel = (kernel + kernel.T) / 2.0
+    j = np.diag(kernel @ np.diag(d))
+    s = random_symmetric(n, seed=seed + 1, scale=0.1)
+    k = 0.5 * (s @ d @ s)
+    return j, (k + k.T) / 2.0
+
+
+def scf(n: int = 128, n_occ: int = 16, p: int = 64, g: float = 0.3,
+        max_iter: int = 12, tol: float = 1e-8, delta: float = 2.0 / 3.0):
+    """Run the SCF loop; returns (orbital energies, iterations, total cost)."""
+    h_core = core_hamiltonian(n)
+    d = np.zeros((n, n))
+    machine = BSPMachine(p)
+    energy_prev = np.inf
+    energies = None
+    for it in range(1, max_iter + 1):
+        j, k = coulomb_exchange(d)
+        fock = h_core + g * (2.0 * j - k)
+        fock = (fock + fock.T) / 2.0
+        result = eigensolve_2p5d(machine, fock, delta=delta, collect_stages=False)
+        energies = result.eigenvalues
+        # Occupied eigenvectors for the new density (sequential reference —
+        # back-transformation is the paper's future work).
+        _, vecs = np.linalg.eigh(fock)
+        occ = vecs[:, :n_occ]
+        d = occ @ occ.T
+        e_tot = 2.0 * energies[:n_occ].sum()
+        print(f"  SCF iter {it:2d}: E = {e_tot:+.8f}   "
+              f"cumulative W = {machine.cost().W:.4g}")
+        if abs(e_tot - energy_prev) < tol:
+            break
+        energy_prev = e_tot
+    return energies, it, machine.cost()
+
+
+def main() -> None:
+    print("SCF with the 2.5D eigensolver (delta = 2/3, replicated):")
+    e_rep, iters, cost_rep = scf(delta=2.0 / 3.0)
+    print(f"converged in {iters} iterations; HOMO-LUMO gap = "
+          f"{e_rep[16] - e_rep[15]:.6f}")
+    print()
+    print("same SCF with the 2-D configuration (delta = 1/2, c = 1):")
+    e_2d, _, cost_2d = scf(delta=0.5)
+    print()
+    print(f"total words moved, 2-D (c=1):        {cost_2d.W:.4g}")
+    print(f"total words moved, 2.5D (c=p^1/3):   {cost_rep.W:.4g}")
+    print(f"communication saving from replication: {cost_2d.W / cost_rep.W:.2f}x")
+    assert np.abs(e_rep - e_2d).max() < 1e-7, "both configurations must agree"
+
+
+if __name__ == "__main__":
+    main()

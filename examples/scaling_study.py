@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Strong-scaling study: the four Table I algorithms side by side.
+
+Sweeps the processor count at fixed n and prints measured F / W / Q / S for
+ScaLAPACK-like, ELPA-like, CA-SBR, and the 2.5D solver at both δ endpoints —
+a runnable, smaller-scale version of the Table I benchmark, useful as a
+template for custom studies.
+
+Run:  python examples/scaling_study.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    BSPMachine,
+    eigensolve_2p5d,
+    eigensolve_ca_sbr,
+    eigensolve_elpa_like,
+    eigensolve_scalapack_like,
+)
+from repro.report.tables import fit_exponent, format_table
+from repro.util import random_symmetric
+
+
+def main(n: int = 192) -> None:
+    ps = (4, 16, 64)
+    a = random_symmetric(n, seed=3)
+    ref = np.linalg.eigvalsh(a)
+
+    solvers = {
+        "ScaLAPACK-like": lambda m: eigensolve_scalapack_like(m, a),
+        "ELPA-like": lambda m: eigensolve_elpa_like(m, a, b=16),
+        "CA-SBR": lambda m: eigensolve_ca_sbr(m, a),
+        "2.5D (d=1/2)": lambda m: eigensolve_2p5d(m, a, delta=0.5).eigenvalues,
+        "2.5D (d=2/3)": lambda m: eigensolve_2p5d(m, a, delta=2 / 3).eigenvalues,
+    }
+
+    rows = []
+    w_series: dict[str, list[float]] = {}
+    for name, solve in solvers.items():
+        ws = []
+        for p in ps:
+            machine = BSPMachine(p)
+            evals = solve(machine)
+            err = np.abs(np.sort(np.asarray(evals)) - ref).max()
+            rep = machine.cost()
+            ws.append(rep.W)
+            rows.append([name, p, rep.F, rep.W, rep.Q, rep.S, f"{err:.1e}"])
+        w_series[name] = ws
+
+    print(format_table(
+        ["algorithm", "p", "F", "W", "Q", "S", "|eig err|"],
+        rows,
+        title=f"strong scaling at n = {n}",
+    ))
+    print()
+    exp_rows = [[name, fit_exponent(ps, ws)] for name, ws in w_series.items()]
+    print(format_table(["algorithm", "fitted W ~ p^e"], exp_rows))
+    print("\n(paper: 2-D algorithms e = -1/2; Theorem IV.4 e = -delta)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 192)

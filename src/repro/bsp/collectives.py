@@ -1,0 +1,178 @@
+"""BSP collective communication primitives (cost-charging layer).
+
+Algorithms in this repo execute with plain numpy data (orchestrated SPMD) and
+*declare* their communication through these primitives, which charge each
+participating rank the words it would send/receive and end the appropriate
+number of supersteps.  Word counts are measured by the caller from the actual
+arrays being moved, so the totals are measured, not modeled.
+
+Cost conventions (g = group size, w = payload words):
+
+* all collectives are O(1) supersteps, matching the paper's BSP assumption
+  that an all-to-all completes in one superstep;
+* bandwidth-optimal two-phase implementations are assumed for broadcast,
+  reduction, and allreduce (scatter+allgather / reduce-scatter+gather), so
+  every rank moves O(w) words rather than the root moving O(g·w);
+* a reduction charges the combining flops (one add per reduced word) to the
+  ranks that perform them.
+
+Every primitive accepts ``tag`` for the machine trace.
+"""
+
+from __future__ import annotations
+
+from repro.bsp.group import RankGroup
+from repro.bsp.machine import BSPMachine
+
+
+def _check(machine: BSPMachine, group: RankGroup, words: float) -> None:
+    machine.check_group(group)
+    if words < 0:
+        raise ValueError("words must be nonnegative")
+
+
+def bcast(machine: BSPMachine, group: RankGroup, words: float, root: int | None = None, tag: str = "") -> None:
+    """Broadcast ``words`` from ``root`` to the group (two-phase optimal)."""
+    _check(machine, group, words)
+    root = group.root if root is None else root
+    if root not in group:
+        raise ValueError(f"root {root} not in group")
+    g = group.size
+    if g == 1 or words == 0:
+        return
+    share = words / g
+    # Phase 1: root scatters g-1 shares; phase 2: allgather of shares.
+    machine.charge_comm(
+        sends={r: (2 * (g - 1)) * share if r == root else (g - 1) * share for r in group},
+        recvs={r: share + (g - 1) * share if r != root else (g - 1) * share for r in group},
+    )
+    machine.superstep(group, 2)
+    machine.trace.record("bcast", group.ranks, words=words, tag=tag, root=root)
+
+
+def reduce(machine: BSPMachine, group: RankGroup, words: float, root: int | None = None, tag: str = "") -> None:
+    """Reduce ``words`` contributions from every rank onto ``root``."""
+    _check(machine, group, words)
+    root = group.root if root is None else root
+    if root not in group:
+        raise ValueError(f"root {root} not in group")
+    g = group.size
+    if g == 1 or words == 0:
+        return
+    share = words / g
+    # Phase 1: reduce-scatter; phase 2: gather shares onto root.
+    sends = {r: (g - 1) * share + (share if r != root else 0.0) for r in group}
+    recvs = {r: (g - 1) * share + ((g - 1) * share if r == root else 0.0) for r in group}
+    machine.charge_comm(sends=sends, recvs=recvs)
+    machine.charge_flops(group, (g - 1) * share)
+    machine.superstep(group, 2)
+    machine.trace.record("reduce", group.ranks, words=words, tag=tag, root=root)
+
+
+def allreduce(machine: BSPMachine, group: RankGroup, words: float, tag: str = "") -> None:
+    """Reduce ``words`` contributions and leave the result on every rank."""
+    _check(machine, group, words)
+    g = group.size
+    if g == 1 or words == 0:
+        return
+    share = words / g
+    per_rank = 2 * (g - 1) * share
+    machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+    machine.charge_flops(group, (g - 1) * share)
+    machine.superstep(group, 2)
+    machine.trace.record("allreduce", group.ranks, words=words, tag=tag)
+
+
+def reduce_scatter(machine: BSPMachine, group: RankGroup, words_total: float, tag: str = "") -> None:
+    """Each rank contributes ``words_total``; each ends with its 1/g share summed."""
+    _check(machine, group, words_total)
+    g = group.size
+    if g == 1 or words_total == 0:
+        return
+    share = words_total / g
+    per_rank = (g - 1) * share
+    machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+    machine.charge_flops(group, per_rank)
+    machine.superstep(group, 1)
+    machine.trace.record("reduce_scatter", group.ranks, words=words_total, tag=tag)
+
+
+def allgather(machine: BSPMachine, group: RankGroup, words_each: float, tag: str = "") -> None:
+    """Each rank contributes ``words_each``; everyone ends with all g blocks."""
+    _check(machine, group, words_each)
+    g = group.size
+    if g == 1 or words_each == 0:
+        return
+    per_rank = (g - 1) * words_each
+    machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+    machine.superstep(group, 1)
+    machine.trace.record("allgather", group.ranks, words=g * words_each, tag=tag)
+
+
+def gather(machine: BSPMachine, group: RankGroup, words_each: float, root: int | None = None, tag: str = "") -> None:
+    """Each non-root rank sends its ``words_each`` block to ``root``."""
+    _check(machine, group, words_each)
+    root = group.root if root is None else root
+    if root not in group:
+        raise ValueError(f"root {root} not in group")
+    g = group.size
+    if g == 1 or words_each == 0:
+        return
+    machine.charge_comm(
+        sends={r: words_each for r in group if r != root},
+        recvs={root: (g - 1) * words_each},
+    )
+    machine.superstep(group, 1)
+    machine.trace.record("gather", group.ranks, words=g * words_each, tag=tag, root=root)
+
+
+def scatter(machine: BSPMachine, group: RankGroup, words_each: float, root: int | None = None, tag: str = "") -> None:
+    """``root`` sends a distinct ``words_each`` block to each other rank."""
+    _check(machine, group, words_each)
+    root = group.root if root is None else root
+    if root not in group:
+        raise ValueError(f"root {root} not in group")
+    g = group.size
+    if g == 1 or words_each == 0:
+        return
+    machine.charge_comm(
+        sends={root: (g - 1) * words_each},
+        recvs={r: words_each for r in group if r != root},
+    )
+    machine.superstep(group, 1)
+    machine.trace.record("scatter", group.ranks, words=g * words_each, tag=tag, root=root)
+
+
+def alltoall(machine: BSPMachine, group: RankGroup, transfers: dict[tuple[int, int], float], tag: str = "") -> None:
+    """Arbitrary point-to-point exchange completed in one superstep.
+
+    ``transfers[(src, dst)]`` is the word count moved from src to dst;
+    src == dst entries are local and free.
+    """
+    machine.check_group(group)
+    sends: dict[int, float] = {}
+    recvs: dict[int, float] = {}
+    total = 0.0
+    for (src, dst), w in transfers.items():
+        if w < 0:
+            raise ValueError("transfer words must be nonnegative")
+        if src not in group or dst not in group:
+            raise ValueError(f"transfer ({src}->{dst}) outside group")
+        if src == dst or w == 0:
+            continue
+        sends[src] = sends.get(src, 0.0) + w
+        recvs[dst] = recvs.get(dst, 0.0) + w
+        total += w
+    machine.charge_comm(sends=sends, recvs=recvs)
+    machine.superstep(group, 1)
+    machine.trace.record("alltoall", group.ranks, words=total, tag=tag)
+
+
+def p2p(machine: BSPMachine, src: int, dst: int, words: float, tag: str = "") -> None:
+    """Point-to-point transfer; does NOT end a superstep (caller batches)."""
+    if words < 0:
+        raise ValueError("words must be nonnegative")
+    if src == dst or words == 0:
+        return
+    machine.charge_comm(sends={src: words}, recvs={dst: words})
+    machine.trace.record("p2p", (src, dst), words=words, tag=tag)

@@ -1,0 +1,150 @@
+"""Per-rank cost counters and aggregated cost reports.
+
+Each virtual rank accumulates F (flops), words sent, words received,
+Q (memory↔cache traffic) and S (supersteps it participated in).  A
+:class:`CostReport` snapshots the machine-wide aggregates used everywhere in
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bsp.params import MachineParams
+
+
+@dataclass
+class RankCounters:
+    """Running cost totals for one virtual processor."""
+
+    flops: float = 0.0
+    words_sent: float = 0.0
+    words_recv: float = 0.0
+    mem_traffic: float = 0.0
+    supersteps: int = 0
+    peak_memory_words: float = 0.0
+    current_memory_words: float = 0.0
+
+    @property
+    def words(self) -> float:
+        """Total interprocessor words moved by this rank (sent + received)."""
+        return self.words_sent + self.words_recv
+
+    def copy(self) -> "RankCounters":
+        return RankCounters(
+            flops=self.flops,
+            words_sent=self.words_sent,
+            words_recv=self.words_recv,
+            mem_traffic=self.mem_traffic,
+            supersteps=self.supersteps,
+            peak_memory_words=self.peak_memory_words,
+            current_memory_words=self.current_memory_words,
+        )
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Aggregated BSP cost of an algorithm run.
+
+    ``flops``/``words``/``mem_traffic``/``supersteps`` are maxima over ranks
+    (the critical-path convention of Section II); ``total_*`` fields are sums
+    over ranks, useful for checking work efficiency and load balance.
+    """
+
+    p: int
+    flops: float
+    words: float
+    mem_traffic: float
+    supersteps: int
+    total_flops: float
+    total_words: float
+    total_mem_traffic: float
+    peak_memory_words: float
+    per_rank: tuple = field(repr=False, default=())
+
+    @property
+    def F(self) -> float:  # noqa: N802 — paper notation
+        return self.flops
+
+    @property
+    def W(self) -> float:  # noqa: N802
+        return self.words
+
+    @property
+    def Q(self) -> float:  # noqa: N802
+        return self.mem_traffic
+
+    @property
+    def S(self) -> int:  # noqa: N802
+        return self.supersteps
+
+    @property
+    def M(self) -> float:  # noqa: N802
+        return self.peak_memory_words
+
+    def time(self, params: MachineParams) -> float:
+        """Modeled execution time on a machine with the given parameters."""
+        return params.time(self.flops, self.words, self.mem_traffic, self.supersteps)
+
+    @property
+    def flop_imbalance(self) -> float:
+        """max/mean flop ratio across ranks (1.0 = perfectly balanced)."""
+        if self.total_flops == 0:
+            return 1.0
+        return self.flops / (self.total_flops / self.p)
+
+    def __sub__(self, other: "CostReport") -> "CostReport":
+        """Cost delta between two snapshots of the *same* machine.
+
+        Per-rank deltas are computed first, then re-aggregated, so the max
+        over ranks refers to the interval, not to the absolute totals.
+        """
+        if self.p != other.p:
+            raise ValueError("cannot subtract cost reports from different machines")
+        deltas = [
+            RankCounters(
+                flops=a.flops - b.flops,
+                words_sent=a.words_sent - b.words_sent,
+                words_recv=a.words_recv - b.words_recv,
+                mem_traffic=a.mem_traffic - b.mem_traffic,
+                supersteps=a.supersteps - b.supersteps,
+                peak_memory_words=a.peak_memory_words,
+            )
+            for a, b in zip(self.per_rank, other.per_rank)
+        ]
+        return aggregate(deltas)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"p={self.p}  F={self.flops:.3g}  W={self.words:.3g}  "
+            f"Q={self.mem_traffic:.3g}  S={self.supersteps}  "
+            f"balance={self.flop_imbalance:.2f}"
+        )
+
+
+def aggregate(per_rank: list[RankCounters]) -> CostReport:
+    """Build a :class:`CostReport` from per-rank counters."""
+    if not per_rank:
+        raise ValueError("aggregate requires at least one rank")
+    flops = np.array([r.flops for r in per_rank])
+    sent = np.array([r.words_sent for r in per_rank])
+    recv = np.array([r.words_recv for r in per_rank])
+    mem = np.array([r.mem_traffic for r in per_rank])
+    steps = np.array([r.supersteps for r in per_rank])
+    peak = np.array([r.peak_memory_words for r in per_rank])
+    words = sent + recv
+    return CostReport(
+        p=len(per_rank),
+        flops=float(flops.max()),
+        words=float(words.max()),
+        mem_traffic=float(mem.max()),
+        supersteps=int(steps.max()),
+        total_flops=float(flops.sum()),
+        total_words=float(words.sum()),
+        total_mem_traffic=float(mem.sum()),
+        peak_memory_words=float(peak.max()),
+        per_rank=tuple(r.copy() for r in per_rank),
+    )

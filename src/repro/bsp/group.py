@@ -1,0 +1,80 @@
+"""Processor groups: ordered subsets of a machine's ranks.
+
+The paper repeatedly hands disjoint subsets of processors to concurrent
+sub-computations (e.g. the ``r`` recursive QR calls in Algorithm III.2, or
+the bulge-chasing groups ``Π̂_j`` of Algorithm IV.2).  A :class:`RankGroup`
+is an immutable ordered tuple of global rank ids with splitting helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.intlog import split_evenly, chunk_offsets
+
+
+@dataclass(frozen=True)
+class RankGroup:
+    """An ordered subset of machine ranks."""
+
+    ranks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise ValueError("RankGroup must be non-empty")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError("RankGroup ranks must be distinct")
+
+    @staticmethod
+    def contiguous(start: int, count: int) -> "RankGroup":
+        """Group of ranks ``start, start+1, ..., start+count-1``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return RankGroup(tuple(range(start, start + count)))
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+    def __iter__(self):
+        return iter(self.ranks)
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self.ranks
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return RankGroup(self.ranks[idx])
+        return self.ranks[idx]
+
+    @property
+    def root(self) -> int:
+        """Conventional root rank of the group (first member)."""
+        return self.ranks[0]
+
+    def split(self, parts: int) -> list["RankGroup"]:
+        """Partition into ``parts`` contiguous subgroups of near-equal size.
+
+        Raises if the group is smaller than ``parts`` (every subgroup must be
+        non-empty — the paper's algorithms guarantee this by construction).
+        """
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        if parts > self.size:
+            raise ValueError(f"cannot split group of {self.size} into {parts} non-empty parts")
+        sizes = split_evenly(self.size, parts)
+        offs = chunk_offsets(sizes)
+        return [RankGroup(self.ranks[o : o + s]) for o, s in zip(offs, sizes)]
+
+    def take(self, count: int) -> "RankGroup":
+        """First ``count`` ranks of the group (``Π[1 : count]`` in the paper)."""
+        if not 1 <= count <= self.size:
+            raise ValueError(f"take count must be in [1, {self.size}], got {count}")
+        return RankGroup(self.ranks[:count])
+
+    def index_of(self, rank: int) -> int:
+        """Position of a global rank within this group."""
+        return self.ranks.index(rank)

@@ -1,0 +1,157 @@
+"""Local (single-rank) compute kernels with F and Q accounting.
+
+These wrap the sequential numerics so that every local operation a virtual
+rank performs charges:
+
+* flops per the standard dense linear-algebra counts, and
+* vertical traffic per Lemma III.1 (matmul: ``Q = O(mn + mk + nk)``) and
+  Lemma III.4 (QR: ``Q = O(mn)``) — the paper drops the ``mnk/√H`` term by
+  assuming ``ν ≤ γ·√H``, and so do we.
+
+Operands may carry cache *keys*; a keyed operand that is already resident in
+the rank's cache (e.g. the replicated ``A`` blocks of Algorithm III.1 /
+Lemma III.3) charges no read traffic.  Unkeyed operands are streamed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bsp.machine import BSPMachine
+
+
+def _read(machine: BSPMachine, rank: int, array: np.ndarray, key: object | None) -> None:
+    words = float(array.size)
+    if key is None:
+        machine.mem_stream(rank, words)
+    else:
+        machine.mem_read(rank, key, words)
+
+
+def _write(machine: BSPMachine, rank: int, array: np.ndarray, key: object | None) -> None:
+    words = float(array.size)
+    if key is None:
+        machine.mem_stream(rank, words)
+    else:
+        machine.mem_write(rank, key, words)
+
+
+def matmul_flops(m: int, n: int, k: int) -> float:
+    """Flop count of an m×n by n×k product (multiply + add)."""
+    return 2.0 * m * n * k
+
+
+def qr_flops(m: int, n: int) -> float:
+    """Flop count of Householder QR of an m×n matrix (m >= n)."""
+    return 2.0 * m * n * n - (2.0 / 3.0) * n**3
+
+
+def local_matmul(
+    machine: BSPMachine,
+    rank: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    a_key: object | None = None,
+    b_key: object | None = None,
+    out_key: object | None = None,
+    accumulate: np.ndarray | None = None,
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+) -> np.ndarray:
+    """Multiply two local matrices on ``rank``; returns the product.
+
+    ``accumulate`` adds the product into an existing array (charged as a
+    read-modify-write of the output).
+    """
+    am = a.T if transpose_a else a
+    bm = b.T if transpose_b else b
+    m, n = am.shape
+    n2, k = bm.shape
+    if n != n2:
+        raise ValueError(f"inner dimensions mismatch: {am.shape} @ {bm.shape}")
+    c = am @ bm
+    machine.charge_flops(rank, matmul_flops(m, n, k))
+    _read(machine, rank, a, a_key)
+    _read(machine, rank, b, b_key)
+    if accumulate is not None:
+        accumulate += c
+        machine.mem_stream(rank, float(c.size))  # read old output
+        _write(machine, rank, accumulate, out_key)
+        machine.charge_flops(rank, float(c.size))  # the additions
+        return accumulate
+    _write(machine, rank, c, out_key)
+    return c
+
+
+def local_qr(
+    machine: BSPMachine,
+    rank: int,
+    a: np.ndarray,
+    a_key: object | None = None,
+    mode: str = "reduced",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Householder QR of a local m×n matrix (m >= n) on ``rank``.
+
+    Returns ``(Q, R)`` with Q of shape m×n and R upper-triangular n×n.
+    The numerics use :func:`repro.linalg.qr.householder_qr`; cost is charged
+    per Lemma III.4 (sequential CAQR attains Q = O(mn)).
+    """
+    from repro.linalg.qr import householder_qr  # late import: avoid cycle
+
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"local_qr requires m >= n, got {a.shape}")
+    q, r = householder_qr(a, mode=mode)
+    machine.charge_flops(rank, qr_flops(m, n))
+    _read(machine, rank, a, a_key)
+    machine.mem_stream(rank, float(q.size + r.size))  # write Q and R
+    return q, r
+
+
+def local_qr_householder(
+    machine: BSPMachine,
+    rank: int,
+    a: np.ndarray,
+    a_key: object | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Householder-form QR on ``rank``: returns ``(U, T, R)``.
+
+    ``Q = I − U T Uᵀ`` with U unit-lower-trapezoidal m×n and T upper-
+    triangular n×n (compact WY form), the representation the eigensolvers
+    aggregate (Section IV).
+    """
+    from repro.linalg.householder import compact_wy_qr  # late import
+
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"local_qr_householder requires m >= n, got {a.shape}")
+    u, t, r = compact_wy_qr(a)
+    machine.charge_flops(rank, qr_flops(m, n) + 2.0 * m * n * n)  # QR + forming T
+    _read(machine, rank, a, a_key)
+    machine.mem_stream(rank, float(u.size + t.size + r.size))
+    return u, t, r
+
+
+def local_lu_nopivot(
+    machine: BSPMachine,
+    rank: int,
+    a: np.ndarray,
+    a_key: object | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Non-pivoted LU of a local square matrix (used by Householder
+    reconstruction, Corollary III.7); returns unit-lower L and upper U."""
+    from repro.linalg.lu import lu_nopivot  # late import
+
+    n = a.shape[0]
+    lo, up = lu_nopivot(a)
+    machine.charge_flops(rank, (2.0 / 3.0) * n**3)
+    _read(machine, rank, a, a_key)
+    machine.mem_stream(rank, float(lo.size + up.size))
+    return lo, up
+
+
+def local_elementwise(machine: BSPMachine, rank: int, arrays: list[np.ndarray], flops_per_elem: float = 1.0) -> None:
+    """Charge an elementwise pass over the given arrays (adds, scalings...)."""
+    words = float(sum(a.size for a in arrays))
+    machine.charge_flops(rank, flops_per_elem * words)
+    machine.mem_stream(rank, words)

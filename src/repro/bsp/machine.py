@@ -1,0 +1,156 @@
+"""The simulated BSP machine.
+
+A :class:`BSPMachine` owns per-rank cost counters and cache models and is
+threaded through every parallel algorithm in this repo.  Algorithms execute
+sequentially in Python ("orchestrated SPMD"); the machine records what each
+*virtual* rank computed, sent, received, and synchronized on, so the final
+:class:`~repro.bsp.counters.CostReport` is the BSP cost the same program
+would have on a real machine (max over ranks per quantity).
+
+Disjoint groups that the paper runs concurrently are simply charged on their
+own ranks; the max-over-ranks aggregation then reflects the concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.bsp.cache import CacheModel
+from repro.bsp.counters import CostReport, RankCounters, aggregate
+from repro.bsp.group import RankGroup
+from repro.bsp.params import MachineParams
+from repro.bsp.trace import Trace
+from repro.util.validation import check_positive_int
+
+
+class BSPMachine:
+    """A ``p``-processor simulated BSP machine with cost accounting."""
+
+    def __init__(self, p: int, params: MachineParams | None = None, trace: bool = False):
+        self.p = check_positive_int(p, "p")
+        self.params = params or MachineParams()
+        self.counters: list[RankCounters] = [RankCounters() for _ in range(self.p)]
+        self.caches: list[CacheModel] = [CacheModel(self.params.cache_words) for _ in range(self.p)]
+        self.trace = Trace(enabled=trace)
+        self.world = RankGroup(tuple(range(self.p)))
+
+    # ------------------------------------------------------------------ #
+    # validation helpers
+
+    def _check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.p:
+            raise ValueError(f"rank {rank} out of range [0, {self.p})")
+        return rank
+
+    def check_group(self, group: RankGroup) -> RankGroup:
+        for r in group:
+            self._check_rank(r)
+        return group
+
+    # ------------------------------------------------------------------ #
+    # charging primitives
+
+    def charge_flops(self, ranks: Iterable[int] | int, flops_each: float) -> None:
+        """Charge ``flops_each`` local operations to each listed rank."""
+        if flops_each < 0:
+            raise ValueError("flops must be nonnegative")
+        if isinstance(ranks, int):
+            ranks = (ranks,)
+        for r in ranks:
+            self.counters[self._check_rank(r)].flops += flops_each
+
+    def charge_comm(
+        self,
+        sends: Mapping[int, float] | None = None,
+        recvs: Mapping[int, float] | None = None,
+    ) -> None:
+        """Charge horizontal word counts: ``sends[r]`` words sent by rank r, etc."""
+        for r, w in (sends or {}).items():
+            if w < 0:
+                raise ValueError("sent words must be nonnegative")
+            self.counters[self._check_rank(r)].words_sent += w
+        for r, w in (recvs or {}).items():
+            if w < 0:
+                raise ValueError("received words must be nonnegative")
+            self.counters[self._check_rank(r)].words_recv += w
+
+    def superstep(self, group: RankGroup | Iterable[int] | None = None, count: int = 1) -> None:
+        """End ``count`` supersteps for the given group (default: all ranks)."""
+        if count < 0:
+            raise ValueError("superstep count must be nonnegative")
+        ranks = self.world if group is None else group
+        for r in ranks:
+            self.counters[self._check_rank(r)].supersteps += count
+        self.trace.record("superstep", ranks if not isinstance(ranks, RankGroup) else ranks.ranks)
+
+    # ------------------------------------------------------------------ #
+    # vertical (memory <-> cache) traffic
+
+    def mem_read(self, rank: int, key: object, words: float) -> None:
+        """Rank reads a dataset from memory; charges Q only on a cache miss."""
+        moved = self.caches[self._check_rank(rank)].access(key, words)
+        self.counters[rank].mem_traffic += moved
+
+    def mem_write(self, rank: int, key: object, words: float) -> None:
+        """Rank produces a dataset; charges its write-back to memory."""
+        moved = self.caches[self._check_rank(rank)].write(key, words)
+        self.counters[rank].mem_traffic += moved
+
+    def mem_stream(self, rank: int, words: float) -> None:
+        """Charge uncacheable streaming traffic (always moves)."""
+        if words < 0:
+            raise ValueError("words must be nonnegative")
+        self.counters[self._check_rank(rank)].mem_traffic += words
+
+    def cache_resident(self, rank: int, key: object) -> bool:
+        """True iff the dataset is currently in the rank's cache."""
+        return self.caches[self._check_rank(rank)].contains(key)
+
+    # ------------------------------------------------------------------ #
+    # memory-footprint tracking (high-water mark per rank)
+
+    def note_memory(self, ranks: Iterable[int] | int, words_each: float) -> None:
+        """Record that each listed rank currently holds ``words_each`` words.
+
+        The distribution layer calls this when matrices are created or
+        replicated; only the peak matters for the M claims.
+        """
+        if isinstance(ranks, int):
+            ranks = (ranks,)
+        for r in ranks:
+            c = self.counters[self._check_rank(r)]
+            c.current_memory_words = max(c.current_memory_words, words_each)
+            c.peak_memory_words = max(c.peak_memory_words, c.current_memory_words)
+
+    def add_memory(self, ranks: Iterable[int] | int, words_each: float) -> None:
+        """Increase each rank's live footprint by ``words_each`` words."""
+        if isinstance(ranks, int):
+            ranks = (ranks,)
+        for r in ranks:
+            c = self.counters[self._check_rank(r)]
+            c.current_memory_words += words_each
+            c.peak_memory_words = max(c.peak_memory_words, c.current_memory_words)
+
+    def release_memory(self, ranks: Iterable[int] | int, words_each: float) -> None:
+        """Decrease each rank's live footprint (never below zero)."""
+        if isinstance(ranks, int):
+            ranks = (ranks,)
+        for r in ranks:
+            c = self.counters[self._check_rank(r)]
+            c.current_memory_words = max(0.0, c.current_memory_words - words_each)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+
+    def cost(self) -> CostReport:
+        """Snapshot the aggregated cost so far."""
+        return aggregate(self.counters)
+
+    def reset(self) -> None:
+        """Zero all counters and caches (parameters are kept)."""
+        self.counters = [RankCounters() for _ in range(self.p)]
+        self.caches = [CacheModel(self.params.cache_words) for _ in range(self.p)]
+        self.trace.clear()
+
+    def __repr__(self) -> str:
+        return f"BSPMachine(p={self.p}, params={self.params})"

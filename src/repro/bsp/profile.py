@@ -1,0 +1,109 @@
+"""Per-section cost profiling for simulated runs.
+
+Answering "where do the words go?" requires attributing the machine's
+counters to phases of an algorithm.  :class:`Profiler` does this with
+nestable sections::
+
+    prof = Profiler(machine)
+    with prof.section("panel-qr"):
+        rect_qr(machine, group, panel)
+    with prof.section("updates"):
+        ...
+    print(prof.report())
+
+Sections may repeat (costs accumulate) and nest (children are attributed to
+their own label *and* counted inside the parent, like any profiler).  The
+report ranks sections by the cost component you care about.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.bsp.counters import CostReport
+from repro.bsp.machine import BSPMachine
+from repro.report.tables import format_table
+
+
+@dataclass
+class SectionCost:
+    """Accumulated cost of one (possibly repeated) section.
+
+    Values are critical-path (max-over-ranks) deltas per call, summed over
+    calls — the same convention as :class:`~repro.bsp.counters.CostReport`.
+    """
+
+    label: str
+    calls: int = 0
+    flops: float = 0.0
+    words: float = 0.0
+    mem_traffic: float = 0.0
+    supersteps: int = 0
+    depth: int = 0
+
+    def add(self, delta: CostReport) -> None:
+        self.calls += 1
+        self.flops += delta.flops
+        self.words += delta.words
+        self.mem_traffic += delta.mem_traffic
+        self.supersteps += delta.supersteps
+
+
+class Profiler:
+    """Attribute a machine's cost counters to labelled sections."""
+
+    def __init__(self, machine: BSPMachine):
+        self.machine = machine
+        self.sections: dict[str, SectionCost] = {}
+        self._stack: list[str] = []
+
+    @contextmanager
+    def section(self, label: str):
+        """Measure everything charged to the machine inside the block."""
+        depth = len(self._stack)
+        self._stack.append(label)
+        before = self.machine.cost()
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+            delta = self.machine.cost() - before
+            sec = self.sections.setdefault(label, SectionCost(label, depth=depth))
+            sec.add(delta)
+
+    def report(self, sort_by: str = "words") -> str:
+        """Fixed-width table of sections, descending by ``sort_by``
+        ('words', 'flops', 'mem_traffic', or 'supersteps')."""
+        if sort_by not in ("words", "flops", "mem_traffic", "supersteps"):
+            raise ValueError(f"cannot sort by {sort_by!r}")
+        # Only rank top-level sections against the total; nested sections are
+        # shown indented under their accumulated place.
+        secs = sorted(self.sections.values(), key=lambda s: getattr(s, sort_by), reverse=True)
+        total = sum(getattr(s, sort_by) for s in secs if s.depth == 0) or 1.0
+        rows = []
+        for s in secs:
+            share = getattr(s, sort_by) / total if s.depth == 0 else float("nan")
+            rows.append(
+                [
+                    ("  " * s.depth) + s.label,
+                    s.calls,
+                    s.flops,
+                    s.words,
+                    s.mem_traffic,
+                    s.supersteps,
+                    f"{share:.1%}" if s.depth == 0 else "-",
+                ]
+            )
+        return format_table(
+            ["section", "calls", "F", "W", "Q", "S", f"{sort_by} share"],
+            rows,
+            title=f"cost profile (sorted by {sort_by})",
+        )
+
+    def top(self, sort_by: str = "words") -> str:
+        """Label of the costliest top-level section."""
+        tops = [s for s in self.sections.values() if s.depth == 0]
+        if not tops:
+            raise ValueError("no sections recorded")
+        return max(tops, key=lambda s: getattr(s, sort_by)).label

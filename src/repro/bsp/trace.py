@@ -1,0 +1,67 @@
+"""Optional event trace of a BSP run.
+
+When enabled on a machine, every communication primitive and kernel records
+an event; tests use the trace to assert on communication *patterns* (not
+just totals), and the Figure 1 / Figure 2 reproductions use it to recover
+the structure diagrams of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded operation."""
+
+    kind: str  # e.g. "bcast", "matmul", "qr", "superstep"
+    group: tuple[int, ...]  # participating ranks
+    words: float = 0.0
+    flops: float = 0.0
+    tag: str = ""  # free-form label supplied by the algorithm
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self,
+        kind: str,
+        group: Iterable[int],
+        words: float = 0.0,
+        flops: float = 0.0,
+        tag: str = "",
+        **meta: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(kind=kind, group=tuple(group), words=words, flops=flops, tag=tag, meta=dict(meta))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def with_tag(self, tag: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.tag == tag]
+
+    def tags(self) -> list[str]:
+        """Distinct non-empty tags in recording order."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            if e.tag and e.tag not in seen:
+                seen[e.tag] = None
+        return list(seen)
+
+    def clear(self) -> None:
+        self.events.clear()

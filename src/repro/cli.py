@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+solve    run the 2.5D eigensolver on a random symmetric matrix and print
+         the spectrum edges plus the measured BSP cost breakdown
+table1   print the paper's Table I, symbolically and evaluated at (n, p)
+figure1  print the Figure 1 structure diagram (Algorithm IV.1)
+figure2  print the Figure 2 pipeline diagram (Algorithm IV.2)
+tune     sweep δ for a machine profile and report the best setting
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro import BSPMachine, eigensolve_2p5d
+    from repro.util import random_symmetric
+
+    a = random_symmetric(args.n, seed=args.seed)
+    machine = BSPMachine(args.p)
+    res = eigensolve_2p5d(machine, a, delta=args.delta)
+    err = float(np.abs(res.eigenvalues - np.linalg.eigvalsh(a)).max())
+    print(f"n={args.n} p={args.p} delta={res.delta:.3f} c={res.replication} b0={res.initial_bandwidth}")
+    print(f"lambda_min={res.eigenvalues[0]:+.6f}  lambda_max={res.eigenvalues[-1]:+.6f}")
+    print(f"max |lambda - numpy| = {err:.3e}")
+    print(res.stage_summary())
+    return 0 if err < 1e-6 else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.model.table1 import render_table1, table1_numeric
+    from repro.report.tables import format_table
+
+    print(render_table1())
+    print()
+    rows = [
+        [name, cost.W, cost.Q, cost.S]
+        for name, cost in table1_numeric(args.n, args.p, args.delta).items()
+    ]
+    print(format_table(
+        ["algorithm", "W", "Q", "S"],
+        rows,
+        title=f"evaluated at n={args.n}, p={args.p}, delta={args.delta:.3f}",
+    ))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.report.figures import render_figure1
+
+    print(render_figure1(n_panels=args.panels, step=args.step))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.report.figures import render_figure2
+
+    print(render_figure2(n=args.n, b=args.b, k=args.k))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.bsp.params import MachineParams
+    from repro.model.tuning import best_delta, tuning_table
+    from repro.report.tables import format_table
+
+    params = MachineParams(
+        gamma=args.gamma, beta=args.beta, nu=args.nu, alpha=args.alpha,
+        memory_words=args.memory,
+    )
+    rows = [
+        [r["delta"], r["c"], r["W"], r["S"], r["memory_words"], "yes" if r["fits"] else "no", r["time"]]
+        for r in tuning_table(args.n, args.p, params)
+    ]
+    print(format_table(
+        ["delta", "c", "W", "S", "M/rank", "fits", "modeled T"],
+        rows,
+        title=f"Theorem IV.4 tuning (n={args.n}, p={args.p})",
+    ))
+    try:
+        d, t = best_delta(args.n, args.p, params)
+        print(f"\nbest delta = {d:.4f}  (c = {args.p ** (2 * d - 1):.2f}),  modeled T = {t:.4g}")
+        return 0
+    except ValueError as exc:
+        print(f"\nno feasible delta: {exc}", file=sys.stderr)
+        return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-avoiding symmetric eigensolver (SPAA'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="run the 2.5D eigensolver")
+    p_solve.add_argument("--n", type=int, default=128)
+    p_solve.add_argument("--p", type=int, default=16)
+    p_solve.add_argument("--delta", type=float, default=2.0 / 3.0)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    p_t1 = sub.add_parser("table1", help="print Table I")
+    p_t1.add_argument("--n", type=int, default=65536)
+    p_t1.add_argument("--p", type=int, default=32768)
+    p_t1.add_argument("--delta", type=float, default=2.0 / 3.0)
+    p_t1.set_defaults(fn=_cmd_table1)
+
+    p_f1 = sub.add_parser("figure1", help="print Figure 1")
+    p_f1.add_argument("--panels", type=int, default=6)
+    p_f1.add_argument("--step", type=int, default=3)
+    p_f1.set_defaults(fn=_cmd_figure1)
+
+    p_f2 = sub.add_parser("figure2", help="print Figure 2")
+    p_f2.add_argument("--n", type=int, default=48)
+    p_f2.add_argument("--b", type=int, default=8)
+    p_f2.add_argument("--k", type=int, default=2)
+    p_f2.set_defaults(fn=_cmd_figure2)
+
+    p_tune = sub.add_parser("tune", help="pick delta/c for a machine")
+    p_tune.add_argument("--n", type=int, default=65536)
+    p_tune.add_argument("--p", type=int, default=32768)
+    p_tune.add_argument("--gamma", type=float, default=1.0)
+    p_tune.add_argument("--beta", type=float, default=100.0)
+    p_tune.add_argument("--nu", type=float, default=10.0)
+    p_tune.add_argument("--alpha", type=float, default=1e5)
+    p_tune.add_argument("--memory", type=float, default=float("inf"))
+    p_tune.set_defaults(fn=_cmd_tune)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

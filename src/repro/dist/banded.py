@@ -1,0 +1,165 @@
+"""Distributed symmetric band matrices.
+
+The band-reduction stages (Algorithm IV.2, CA-SBR) operate on a symmetric
+matrix of band-width ``b`` stored as its band only ((b+1)·n words) and
+distributed in 1-D contiguous column-panels: group ``Π̂_j`` owns columns
+``[(j−1)·n/g, j·n/g)`` (the paper assigns panels of ``b`` columns to groups
+of ``p̂ = pb/n`` ranks, which is the same partition).
+
+As with :class:`~repro.dist.matrix.DistMatrix`, the numerical content is a
+global dense array (window reads/writes during bulge chasing are cheap and
+exact), while ownership drives the communication accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bsp.group import RankGroup
+from repro.bsp.machine import BSPMachine
+from repro.util.intlog import chunk_offsets, split_evenly
+from repro.util.validation import check_symmetric
+
+
+class DistBandMatrix:
+    """Symmetric band-``b`` matrix, columns block-distributed over a group."""
+
+    def __init__(self, machine: BSPMachine, data: np.ndarray, bandwidth: int, group: RankGroup):
+        self.machine = machine
+        self.data = check_symmetric(data, "band matrix")
+        self.n = self.data.shape[0]
+        if not 0 <= bandwidth < self.n:
+            raise ValueError(f"bandwidth must be in [0, n-1], got {bandwidth}")
+        self.b = int(bandwidth)
+        self.group = group
+        machine.check_group(group)
+        sizes = split_evenly(self.n, group.size)
+        self._col_starts = np.array(chunk_offsets(sizes) + [self.n], dtype=np.int64)
+        # Band storage words per rank: (b+1) words per owned column.
+        for r, sz in zip(group, sizes):
+            machine.note_memory(r, float((self.b + 1) * sz))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def words(self) -> int:
+        """Total stored words of the band."""
+        return (self.b + 1) * self.n
+
+    def owner_of_col(self, j: int) -> int:
+        """Rank owning column j."""
+        if not 0 <= j < self.n:
+            raise IndexError(f"column {j} out of range")
+        blk = int(np.searchsorted(self._col_starts, j, side="right") - 1)
+        return self.group[blk]
+
+    def owners_of_cols(self, j0: int, j1: int) -> RankGroup:
+        """Distinct ranks owning columns [j0, j1)."""
+        blks = np.searchsorted(self._col_starts, np.arange(j0, j1), side="right") - 1
+        ranks = tuple(dict.fromkeys(self.group[int(b)] for b in blks))
+        return RankGroup(ranks)
+
+    def band_words_in_cols(self, j0: int, j1: int) -> float:
+        """Stored band words in columns [j0, j1)."""
+        return float((self.b + 1) * max(0, j1 - j0))
+
+    # ------------------------------------------------------------------ #
+    # data motion
+
+    def fetch_window(self, rows: slice, cols: slice, to_group: RankGroup, tag: str = "fetch") -> np.ndarray:
+        """Bring the window B[rows, cols] onto ``to_group``.
+
+        Charges: owners of the window's columns send the window's *actual
+        content* — the stored band plus any live bulge fill, measured as the
+        window's nonzero count (a distributed band never ships the zeros
+        outside its structure); each member of ``to_group`` receives its
+        1/|group| share.  One superstep.
+        """
+        window = self.data[rows, cols]
+        words = float(max(int(np.count_nonzero(window)), min(window.size, 1)))
+        owners = self.owners_of_cols(cols.start, cols.stop)
+        share = words / to_group.size
+        sends: dict[int, float] = {}
+        recvs: dict[int, float] = {}
+        for r in owners:
+            sends[r] = sends.get(r, 0.0) + words / owners.size
+        for r in to_group:
+            recvs[r] = recvs.get(r, 0.0) + share
+        involved = RankGroup(tuple(dict.fromkeys(list(owners) + list(to_group))))
+        self.machine.charge_comm(sends=sends, recvs=recvs)
+        self.machine.superstep(involved, 1)
+        self.machine.trace.record("band_fetch", involved.ranks, words=words, tag=tag)
+        return window.copy()
+
+    def charge_store(self, rows: slice, cols: slice, from_group: RankGroup, tag: str = "store") -> None:
+        """Charge the write-back of a window from ``from_group`` to the
+        owners of its columns (dual of :meth:`fetch_window`), without
+        touching the data — callers that update ``data`` in place use this.
+        Like the fetch, only the window's actual (nonzero) content moves."""
+        window = self.data[rows, cols]
+        words = float(max(int(np.count_nonzero(window)), min(window.size, 1)))
+        owners = self.owners_of_cols(cols.start, cols.stop)
+        sends = {r: words / from_group.size for r in from_group}
+        recvs = {r: words / owners.size for r in owners}
+        involved = RankGroup(tuple(dict.fromkeys(list(from_group) + list(owners))))
+        self.machine.charge_comm(sends=sends, recvs=recvs)
+        self.machine.superstep(involved, 1)
+        self.machine.trace.record("band_store", involved.ranks, words=words, tag=tag)
+
+    def store_window(self, rows: slice, cols: slice, values: np.ndarray, from_group: RankGroup, tag: str = "store") -> None:
+        """Write back a dense window from ``from_group`` to the owners.
+
+        Symmetric counterpart of :meth:`fetch_window` (dual communication).
+        The symmetric mirror B[cols, rows] is updated too (the band stores
+        one triangle; mirroring is free).
+        """
+        if values.shape != (rows.stop - rows.start, cols.stop - cols.start):
+            raise ValueError("window shape mismatch")
+        self.data[rows, cols] = values
+        self.data[cols, rows] = values.T
+        self.charge_store(rows, cols, from_group, tag=tag)
+
+    def gather(self, target: int, tag: str = "band_gather") -> np.ndarray:
+        """Collect the whole band on one rank (end of Algorithm IV.3)."""
+        per_rank_cols = np.diff(self._col_starts)
+        sends = {
+            r: float((self.b + 1) * per_rank_cols[k])
+            for k, r in enumerate(self.group)
+            if r != target
+        }
+        recvs = {target: float(sum(sends.values()))}
+        group = RankGroup(tuple(dict.fromkeys(list(self.group) + [target])))
+        self.machine.charge_comm(sends=sends, recvs=recvs)
+        self.machine.superstep(group, 1)
+        self.machine.note_memory(target, float(self.words))
+        self.machine.trace.record("gather", group.ranks, words=recvs[target], tag=tag)
+        return self.data
+
+    def redistribute(self, new_group: RankGroup, tag: str = "band_redist") -> "DistBandMatrix":
+        """Re-partition the columns over a (possibly smaller) group.
+
+        Used between stages of Algorithm IV.3 ("Gather B onto Π̄"): charges
+        each source rank the words whose owner changes.
+        """
+        new = DistBandMatrix(self.machine, self.data, self.b, new_group)
+        old_starts, new_starts = self._col_starts, new._col_starts
+        sends: dict[int, float] = {}
+        recvs: dict[int, float] = {}
+        moved = 0.0
+        for j in range(self.n):
+            src = self.group[int(np.searchsorted(old_starts, j, side="right") - 1)]
+            dst = new_group[int(np.searchsorted(new_starts, j, side="right") - 1)]
+            if src != dst:
+                w = float(self.b + 1)
+                sends[src] = sends.get(src, 0.0) + w
+                recvs[dst] = recvs.get(dst, 0.0) + w
+                moved += w
+        involved = RankGroup(tuple(dict.fromkeys(list(self.group) + list(new_group))))
+        self.machine.charge_comm(sends=sends, recvs=recvs)
+        self.machine.superstep(involved, 1)
+        self.machine.trace.record("band_redistribute", involved.ranks, words=moved, tag=tag)
+        return new
+
+    def with_bandwidth(self, new_b: int) -> "DistBandMatrix":
+        """Rebind with a smaller declared band-width (after a reduction)."""
+        return DistBandMatrix(self.machine, self.data, new_b, self.group)

@@ -1,0 +1,213 @@
+"""Matrix-to-processor layouts with vectorized owner maps.
+
+A layout answers "which rank owns element (i, j)?" for an m×n matrix, in a
+form that lets the distribution layer compute per-rank word counts (and
+redistribution histograms) with numpy instead of per-element Python loops.
+
+Layouts carry *offsets* so that a submatrix view of a cyclically distributed
+matrix keeps the ownership of the parent — the mechanism behind the paper's
+remark that, since ``b mod q = 0``, the trailing-matrix recursion of
+Algorithm IV.1 "can preserve perfect load balance without communication".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.bsp.group import RankGroup
+from repro.util.intlog import ceil_div, chunk_offsets, split_evenly
+
+
+class Layout(ABC):
+    """Abstract ownership map of an m×n matrix over machine ranks."""
+
+    def __init__(self, m: int, n: int):
+        if m < 0 or n < 0:
+            raise ValueError("matrix dimensions must be nonnegative")
+        self.m = int(m)
+        self.n = int(n)
+
+    @property
+    def words(self) -> int:
+        return self.m * self.n
+
+    @abstractmethod
+    def owner(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Vectorized element→rank map (broadcasts i against j)."""
+
+    @abstractmethod
+    def ranks(self) -> RankGroup:
+        """Ranks participating in this layout."""
+
+    @abstractmethod
+    def subview(self, roff: int, coff: int, m: int, n: int) -> "Layout":
+        """Layout of the submatrix starting at (roff, coff) of size m×n,
+        preserving ownership of the parent elements."""
+
+    def owner_map(self) -> np.ndarray:
+        """Full (m, n) rank map."""
+        i = np.arange(self.m)[:, None]
+        j = np.arange(self.n)[None, :]
+        return self.owner(i, j)
+
+    def words_per_rank(self, p: int) -> np.ndarray:
+        """Array of length p: words owned by each machine rank."""
+        return np.bincount(self.owner_map().ravel(), minlength=p)
+
+    def max_local_words(self, p: int) -> int:
+        wpr = self.words_per_rank(p)
+        return int(wpr.max()) if wpr.size else 0
+
+
+class CyclicLayout(Layout):
+    """Element-cyclic layout over a 2-D grid: (i, j) → grid(i mod q₀, j mod q₁)."""
+
+    def __init__(self, grid, m: int, n: int, roff: int = 0, coff: int = 0):
+        super().__init__(m, n)
+        if grid.ndim != 2:
+            raise ValueError("CyclicLayout requires a 2-D grid")
+        self.grid = grid
+        self.roff = int(roff)
+        self.coff = int(coff)
+        q0, q1 = grid.shape
+        self._rank_lut = np.array(
+            [[grid.rank_at(a, b) for b in range(q1)] for a in range(q0)], dtype=np.int64
+        )
+
+    def owner(self, i, j):
+        q0, q1 = self.grid.shape
+        return self._rank_lut[(np.asarray(i) + self.roff) % q0, (np.asarray(j) + self.coff) % q1]
+
+    def ranks(self) -> RankGroup:
+        return self.grid.group()
+
+    def subview(self, roff: int, coff: int, m: int, n: int) -> "CyclicLayout":
+        return CyclicLayout(self.grid, m, n, self.roff + roff, self.coff + coff)
+
+
+class BlockCyclicLayout(Layout):
+    """Block-cyclic layout with block size (mb, nb) over a 2-D grid."""
+
+    def __init__(self, grid, m: int, n: int, mb: int, nb: int, roff: int = 0, coff: int = 0):
+        super().__init__(m, n)
+        if grid.ndim != 2:
+            raise ValueError("BlockCyclicLayout requires a 2-D grid")
+        if mb <= 0 or nb <= 0:
+            raise ValueError("block sizes must be positive")
+        self.grid = grid
+        self.mb = int(mb)
+        self.nb = int(nb)
+        self.roff = int(roff)
+        self.coff = int(coff)
+        q0, q1 = grid.shape
+        self._rank_lut = np.array(
+            [[grid.rank_at(a, b) for b in range(q1)] for a in range(q0)], dtype=np.int64
+        )
+
+    def owner(self, i, j):
+        q0, q1 = self.grid.shape
+        bi = ((np.asarray(i) + self.roff) // self.mb) % q0
+        bj = ((np.asarray(j) + self.coff) // self.nb) % q1
+        return self._rank_lut[bi, bj]
+
+    def ranks(self) -> RankGroup:
+        return self.grid.group()
+
+    def subview(self, roff: int, coff: int, m: int, n: int) -> "BlockCyclicLayout":
+        return BlockCyclicLayout(self.grid, m, n, self.mb, self.nb, self.roff + roff, self.coff + coff)
+
+
+class BlockRowLayout(Layout):
+    """1-D layout: contiguous row blocks over an ordered rank group.
+
+    The layout of TSQR / rect-QR inputs and of the band matrix's row panels.
+    """
+
+    def __init__(self, group: RankGroup, m: int, n: int, roff: int = 0, total_m: int | None = None):
+        super().__init__(m, n)
+        self.group = group
+        self.roff = int(roff)
+        self.total_m = int(total_m if total_m is not None else m)
+        sizes = split_evenly(self.total_m, group.size)
+        self._starts = np.array(chunk_offsets(sizes) + [self.total_m], dtype=np.int64)
+        self._rank_arr = np.array(group.ranks, dtype=np.int64)
+
+    def owner(self, i, j):
+        gi = np.asarray(i) + self.roff
+        if np.any(gi < 0) or np.any(gi >= self.total_m):
+            raise IndexError("row index outside the layout's global extent")
+        block = np.searchsorted(self._starts, gi, side="right") - 1
+        out = self._rank_arr[block]
+        shape = np.broadcast_shapes(np.shape(out), np.shape(np.asarray(j)))
+        return np.broadcast_to(out, shape)
+
+    def ranks(self) -> RankGroup:
+        return self.group
+
+    def subview(self, roff: int, coff: int, m: int, n: int) -> "BlockRowLayout":
+        return BlockRowLayout(self.group, m, n, self.roff + roff, self.total_m)
+
+
+class ReplicatedLayout(Layout):
+    """A base layout replicated identically on several 2-D grids (layers).
+
+    ``primary`` is layer 0's layout; ``replicas`` are the same pattern on
+    the other layers.  Ownership queries return the primary owner; the
+    distributed-matrix operations account for all copies.
+    """
+
+    def __init__(self, primary: Layout, replicas: list[Layout]):
+        super().__init__(primary.m, primary.n)
+        for r in replicas:
+            if (r.m, r.n) != (primary.m, primary.n):
+                raise ValueError("replica shape mismatch")
+        self.primary = primary
+        self.replicas = list(replicas)
+
+    @property
+    def copies(self) -> list[Layout]:
+        return [self.primary, *self.replicas]
+
+    @property
+    def n_copies(self) -> int:
+        return 1 + len(self.replicas)
+
+    def owner(self, i, j):
+        return self.primary.owner(i, j)
+
+    def ranks(self) -> RankGroup:
+        seen: list[int] = []
+        for lay in self.copies:
+            for r in lay.ranks():
+                if r not in seen:
+                    seen.append(r)
+        return RankGroup(tuple(seen))
+
+    def subview(self, roff: int, coff: int, m: int, n: int) -> "ReplicatedLayout":
+        return ReplicatedLayout(
+            self.primary.subview(roff, coff, m, n),
+            [r.subview(roff, coff, m, n) for r in self.replicas],
+        )
+
+
+def transfer_histogram(src: Layout, dst: Layout, p: int) -> dict[tuple[int, int], float]:
+    """Words to move between each (src_rank, dst_rank) pair to re-layout.
+
+    Elements whose owner does not change cost nothing.  Vectorized over the
+    full owner maps.
+    """
+    if (src.m, src.n) != (dst.m, dst.n):
+        raise ValueError("layout shapes differ")
+    if src.words == 0:
+        return {}
+    a = src.owner_map().ravel()
+    b = dst.owner_map().ravel()
+    moving = a != b
+    if not moving.any():
+        return {}
+    pairs = a[moving] * p + b[moving]
+    counts = np.bincount(pairs, minlength=0)
+    nz = np.nonzero(counts)[0]
+    return {(int(k // p), int(k % p)): float(counts[k]) for k in nz}

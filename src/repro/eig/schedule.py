@@ -1,0 +1,93 @@
+"""Bulge-chase pipeline schedule of Algorithm IV.2 (Figure 2).
+
+Panel ``i``'s elimination starts as soon as bulge ``i−1`` has been chased
+twice, so chase ``(i, j)`` executes in pipeline *phase* ``j + 2(i−1)``, and
+all steps of equal phase run concurrently on their disjoint processor
+groups.  Figure 2 of the paper shows phases 5 and 6 for k = 2:
+``{(3,1), (2,3), (1,5)}`` then ``{(3,2), (2,4), (1,6)}``.
+
+This module derives the schedule from the shared
+:func:`repro.linalg.sbr.chase_steps` enumeration (so the diagram is provably
+the schedule the reduction actually executes) and computes the quantities
+Lemma IV.3's proof reasons about: number of phases, maximum concurrency, and
+which processor group Π̂_j executes each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linalg.sbr import ChaseStep, chase_steps
+
+
+@dataclass(frozen=True)
+class PipelinePhase:
+    """All chase steps executing concurrently in one pipeline phase."""
+
+    phase: int
+    steps: tuple[ChaseStep, ...]
+
+    @property
+    def ij_set(self) -> set[tuple[int, int]]:
+        """The (panel, chase) pairs of this phase — Figure 2's labels."""
+        return {(s.i, s.j) for s in self.steps}
+
+    @property
+    def concurrency(self) -> int:
+        return len(self.steps)
+
+
+def pipeline_schedule(n: int, b: int, h: int) -> list[PipelinePhase]:
+    """The full pipeline: one entry per phase, in execution order."""
+    buckets: dict[int, list[ChaseStep]] = {}
+    for s in chase_steps(n, b, h):
+        buckets.setdefault(s.phase, []).append(s)
+    return [
+        PipelinePhase(phase=ph, steps=tuple(sorted(buckets[ph], key=lambda s: s.i)))
+        for ph in sorted(buckets)
+    ]
+
+
+def group_of_step(step: ChaseStep, n: int, b: int) -> int:
+    """Index of the processor group Π̂_j executing a chase step.
+
+    The paper assigns chase j of every bulge to group Π̂_j (line 5); groups
+    are indexed 0-based here and wrap if a chase chain is longer than the
+    n/b available groups (only possible for ragged trailing chains).
+    """
+    n_groups = max(1, n // b)
+    return (step.j - 1) % n_groups
+
+
+def max_concurrency(n: int, b: int, h: int) -> int:
+    """Peak number of simultaneously active chase steps."""
+    sched = pipeline_schedule(n, b, h)
+    return max((ph.concurrency for ph in sched), default=0)
+
+
+def schedule_checks(n: int, b: int, h: int) -> dict[str, bool]:
+    """Structural invariants of the schedule (used by tests and benches).
+
+    * steps of one phase touch pairwise-disjoint row windows (they can run
+      concurrently without conflicting updates);
+    * within a panel, chase j+1 starts exactly where chase j's QR rows began
+      (the bulge-handoff invariant derived in :mod:`repro.linalg.sbr`).
+    """
+    sched = pipeline_schedule(n, b, h)
+    disjoint = True
+    for ph in sched:
+        # Concurrent QR blocks must not overlap (row ranges; columns follow).
+        spans = sorted((s.oqr_r, s.oqr_r + s.nr) for s in ph.steps)
+        for a, c in zip(spans, spans[1:]):
+            if c[0] < a[1]:
+                disjoint = False
+    handoff = True
+    by_panel: dict[int, list[ChaseStep]] = {}
+    for s in chase_steps(n, b, h):
+        by_panel.setdefault(s.i, []).append(s)
+    for steps in by_panel.values():
+        steps.sort(key=lambda s: s.j)
+        for s0, s1 in zip(steps, steps[1:]):
+            if s1.oqr_c != s0.oqr_r:
+                handoff = False
+    return {"phases_disjoint": disjoint, "bulge_handoff": handoff}

@@ -1,0 +1,53 @@
+"""Two-sided aggregated Householder updates (Eqns IV.1 and IV.2).
+
+For a symmetric X and ``Q = I − U T Uᵀ``:
+
+    QᵀXQ = X + U Vᵀ + V Uᵀ        with  V = ½·U Tᵀ (Uᵀ X U) T − X U T.
+
+This rank-2b form is the key trick of Section IV: it is cheaper than the
+explicit two-sided product, symmetric by construction, and *aggregates* —
+appending more columns to (U, V) composes further transformations, enabling
+the left-looking full-to-band algorithm (Algorithm IV.1).
+
+The deferred-application identity (Eqn IV.2):
+
+    (QᵀXQ)·Y = X·Y + U (Vᵀ Y) + V (Uᵀ Y),
+
+lets a left-looking algorithm multiply by the *updated* trailing matrix
+without ever forming it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def two_sided_update_vectors(u: np.ndarray, t: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Compute V such that QᵀXQ = X + U Vᵀ + V Uᵀ (Eqn IV.1).
+
+    ``x`` is symmetric n×n, ``u`` n×b, ``t`` b×b upper triangular.
+    Evaluated right-to-left so every product is against a thin matrix.
+    """
+    w = x @ (u @ t)  # n×b: X U T
+    # V = ½ U Tᵀ Uᵀ W − W
+    v = 0.5 * (u @ (t.T @ (u.T @ w))) - w
+    return v
+
+
+def aggregated_update_apply(x: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Return X + U Vᵀ + V Uᵀ (applies an aggregated two-sided update)."""
+    return x + u @ v.T + v @ u.T
+
+
+def aggregated_update_matmul(
+    x: np.ndarray, u: np.ndarray, v: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Return (X + U Vᵀ + V Uᵀ)·Y without forming the update (Eqn IV.2)."""
+    return x @ y + u @ (v.T @ y) + v @ (u.T @ y)
+
+
+def symmetric_two_sided(x: np.ndarray, u: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Reference QᵀXQ via the rank-2b form (used by tests against the
+    explicit product)."""
+    v = two_sided_update_vectors(u, t, x)
+    return aggregated_update_apply(x, u, v)

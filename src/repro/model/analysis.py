@@ -1,0 +1,102 @@
+"""Cost analysis utilities: time breakdowns and algorithm crossovers.
+
+Downstream users ask two questions the paper's asymptotics answer only
+implicitly:
+
+* *where does the time go?* — :func:`time_breakdown` splits a measured (or
+  modeled) cost into its γF / βW / νQ / αS components for a machine;
+* *when does the communication-avoiding solver win?* — :func:`crossover_p`
+  finds the processor count beyond which Theorem IV.4's modeled time beats a
+  baseline's on a given machine (the practical content of Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bsp.counters import CostReport
+from repro.bsp.params import MachineParams
+from repro.model.costs import (
+    AsymptoticCost,
+    eigensolver_2p5d_cost,
+    elpa_cost,
+    scalapack_cost,
+)
+
+
+def time_breakdown(
+    cost: CostReport | AsymptoticCost, params: MachineParams
+) -> dict[str, float]:
+    """Split modeled time into its four components (absolute and shares)."""
+    parts = {
+        "compute": params.gamma * cost.F,
+        "horizontal": params.beta * cost.W,
+        "vertical": params.nu * cost.Q,
+        "synchronization": params.alpha * cost.S,
+    }
+    total = sum(parts.values())
+    out = dict(parts)
+    out["total"] = total
+    for k, v in parts.items():
+        out[f"{k}_share"] = v / total if total > 0 else 0.0
+    return out
+
+
+def dominant_component(cost: CostReport | AsymptoticCost, params: MachineParams) -> str:
+    """Name of the largest time component ('compute', 'horizontal', ...)."""
+    bd = time_breakdown(cost, params)
+    return max(
+        ("compute", "horizontal", "vertical", "synchronization"), key=lambda k: bd[k]
+    )
+
+
+BASELINES: dict[str, Callable[[int, int], AsymptoticCost]] = {
+    "scalapack": lambda n, p: scalapack_cost(n, p),
+    "elpa": lambda n, p: elpa_cost(n, p),
+}
+
+
+def crossover_p(
+    n: int,
+    params: MachineParams,
+    baseline: str = "scalapack",
+    delta: float = 2.0 / 3.0,
+    p_max: int = 1 << 22,
+) -> int | None:
+    """Smallest power-of-two p at which the 2.5D solver's modeled time beats
+    the baseline's, or None if it never does up to ``p_max``.
+
+    The 2.5D solver trades α and ν for β, so on bandwidth-dominated machines
+    the crossover comes early; on latency-dominated machines it may never
+    come (exactly Section V's tuning discussion).
+    """
+    if baseline not in BASELINES:
+        raise ValueError(f"unknown baseline {baseline!r}; choose from {sorted(BASELINES)}")
+    base_fn = BASELINES[baseline]
+    p = 2
+    while p <= p_max and p <= n:
+        t_ours = eigensolver_2p5d_cost(n, p, delta).time(params)
+        t_base = base_fn(n, p).time(params)
+        if t_ours < t_base:
+            return p
+        p *= 2
+    return None
+
+
+def speedup_curve(
+    n: int,
+    params: MachineParams,
+    baseline: str = "scalapack",
+    delta: float = 2.0 / 3.0,
+    p_values: tuple[int, ...] = (64, 256, 1024, 4096, 16384),
+) -> list[tuple[int, float]]:
+    """(p, baseline_time / ours_time) pairs across a p sweep (model)."""
+    if baseline not in BASELINES:
+        raise ValueError(f"unknown baseline {baseline!r}")
+    base_fn = BASELINES[baseline]
+    out = []
+    for p in p_values:
+        t_ours = eigensolver_2p5d_cost(n, p, delta).time(params)
+        t_base = base_fn(n, p).time(params)
+        out.append((p, t_base / t_ours))
+    return out

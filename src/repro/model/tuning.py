@@ -1,0 +1,71 @@
+"""Parameter tuning: choose (δ, c, b) for a machine.
+
+Section V: "the flexibility offered by the parameter c increases the
+dimensionality of the tuning space" — large c pays off exactly when the
+machine is bandwidth-bound (β ≫ γ) and memory is plentiful.  This module
+evaluates Theorem IV.4's cost over the feasible δ range and picks the
+minimizer, respecting the per-rank memory limit M ≥ n²/p^{2(1−δ)}.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bsp.params import MachineParams
+from repro.model.costs import delta_to_c, eigensolver_2p5d_cost
+
+
+def feasible_deltas(n: int, p: int, memory_words: float, samples: int = 33) -> list[float]:
+    """δ values in [1/2, 2/3] whose memory footprint fits ``memory_words``."""
+    out = []
+    for i in range(samples):
+        d = 0.5 + (2.0 / 3.0 - 0.5) * i / (samples - 1)
+        if n * n / p ** (2.0 * (1.0 - d)) <= memory_words:
+            out.append(d)
+    return out
+
+
+def predicted_time(n: int, p: int, delta: float, params: MachineParams) -> float:
+    """Modeled execution time of Theorem IV.4 at the given δ."""
+    return eigensolver_2p5d_cost(n, p, delta, cache_words=params.cache_words).time(params)
+
+
+def best_delta(n: int, p: int, params: MachineParams) -> tuple[float, float]:
+    """Return (δ*, predicted time) minimizing the modeled cost.
+
+    Raises ``ValueError`` if even δ = 1/2 (the 2-D footprint n²/p) does not
+    fit in memory — the problem is simply too large for the machine.
+    """
+    cands = feasible_deltas(n, p, params.memory_words)
+    if not cands:
+        raise ValueError(
+            f"n={n} does not fit: even c=1 needs {n * n / p:.3g} words/rank, "
+            f"machine has {params.memory_words:.3g}"
+        )
+    best = min(cands, key=lambda d: predicted_time(n, p, d, params))
+    return best, predicted_time(n, p, best, params)
+
+
+def tuning_table(n: int, p: int, params: MachineParams, samples: int = 9) -> list[dict]:
+    """Sweep δ and report (δ, c, memory, predicted component times)."""
+    rows = []
+    for i in range(samples):
+        d = 0.5 + (2.0 / 3.0 - 0.5) * i / (samples - 1)
+        cost = eigensolver_2p5d_cost(n, p, d, cache_words=params.cache_words)
+        rows.append(
+            {
+                "delta": d,
+                "c": delta_to_c(p, d),
+                "memory_words": cost.M,
+                "fits": cost.M <= params.memory_words,
+                "W": cost.W,
+                "S": cost.S,
+                "time": cost.time(params),
+            }
+        )
+    return rows
+
+
+def bandwidth_bound_speedup(p: int, delta: float = 2.0 / 3.0) -> float:
+    """Ideal W speedup of the 2.5D solver over 2-D baselines: √c = p^{δ−1/2}."""
+    return math.sqrt(delta_to_c(p, delta))

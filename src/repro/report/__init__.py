@@ -1,0 +1,6 @@
+"""ASCII reporting: tables and the paper's structure figures."""
+
+from repro.report.tables import format_table
+from repro.report.figures import render_figure1, render_figure2
+
+__all__ = ["format_table", "render_figure1", "render_figure2"]

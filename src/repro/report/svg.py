@@ -1,0 +1,124 @@
+"""Dependency-free SVG charts for benchmark artifacts.
+
+matplotlib is not available offline, so the benchmarks emit their scaling
+curves as hand-rolled SVG: a log–log line chart is all the paper's cost
+claims need (straight lines whose slopes are the exponents).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+_W, _H = 640, 420
+_ML, _MR, _MT, _MB = 70, 20, 40, 50  # margins
+
+
+def _ticks(lo: float, hi: float, log: bool) -> list[float]:
+    if log:
+        lo_e = math.floor(math.log10(lo))
+        hi_e = math.ceil(math.log10(hi))
+        return [10.0**e for e in range(lo_e, hi_e + 1)]
+    step = 10 ** math.floor(math.log10(max(hi - lo, 1e-300)))
+    first = math.floor(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + step / 2:
+        if t >= lo - step / 2:
+            ticks.append(t)
+        t += step
+    return ticks[:12]
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    e = math.log10(abs(v))
+    if abs(e) >= 4 or (e < 0 and abs(v) < 0.01):
+        return f"1e{int(round(math.log10(v)))}" if v > 0 else f"{v:.1e}"
+    if v == int(v):
+        return str(int(v))
+    return f"{v:g}"
+
+
+def line_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    loglog: bool = True,
+) -> str:
+    """Render named (x, y) series as an SVG line chart (log–log by default).
+
+    Every point must be positive when ``loglog`` is set.
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ValueError("line_chart requires at least one non-empty series")
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    if loglog and (min(xs) <= 0 or min(ys) <= 0):
+        raise ValueError("log-log chart requires positive coordinates")
+
+    def tx(v: float) -> float:
+        lo, hi = min(xs), max(xs)
+        if loglog:
+            lo, hi, v = math.log10(lo), math.log10(hi), math.log10(v)
+        span = (hi - lo) or 1.0
+        return _ML + (v - lo) / span * (_W - _ML - _MR)
+
+    def ty(v: float) -> float:
+        lo, hi = min(ys), max(ys)
+        if loglog:
+            lo, hi, v = math.log10(lo), math.log10(hi), math.log10(v)
+        span = (hi - lo) or 1.0
+        return _H - _MB - (v - lo) / span * (_H - _MT - _MB)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'font-family="monospace" font-size="12">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_W / 2}" y="20" text-anchor="middle" font-size="14">{title}</text>',
+        f'<text x="{_W / 2}" y="{_H - 10}" text-anchor="middle">{xlabel}</text>',
+        f'<text x="15" y="{_H / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 15 {_H / 2})">{ylabel}</text>',
+        # axes
+        f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_H - _MB}" stroke="black"/>',
+        f'<line x1="{_ML}" y1="{_H - _MB}" x2="{_W - _MR}" y2="{_H - _MB}" stroke="black"/>',
+    ]
+    for t in _ticks(min(xs), max(xs), loglog):
+        if not min(xs) <= t <= max(xs):
+            continue
+        parts.append(
+            f'<line x1="{tx(t):.1f}" y1="{_H - _MB}" x2="{tx(t):.1f}" y2="{_H - _MB + 5}" stroke="black"/>'
+            f'<text x="{tx(t):.1f}" y="{_H - _MB + 18}" text-anchor="middle">{_fmt(t)}</text>'
+        )
+    for t in _ticks(min(ys), max(ys), loglog):
+        if not min(ys) <= t <= max(ys):
+            continue
+        parts.append(
+            f'<line x1="{_ML - 5}" y1="{ty(t):.1f}" x2="{_ML}" y2="{ty(t):.1f}" stroke="black"/>'
+            f'<text x="{_ML - 8}" y="{ty(t) + 4:.1f}" text-anchor="end">{_fmt(t)}</text>'
+        )
+    for idx, (label, pts) in enumerate(series.items()):
+        color = _COLORS[idx % len(_COLORS)]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{tx(x):.1f},{ty(y):.1f}" for i, (x, y) in enumerate(pts)
+        )
+        parts.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+        for x, y in pts:
+            parts.append(f'<circle cx="{tx(x):.1f}" cy="{ty(y):.1f}" r="3" fill="{color}"/>')
+        ly = _MT + 16 * idx
+        parts.append(
+            f'<line x1="{_W - _MR - 130}" y1="{ly}" x2="{_W - _MR - 110}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"/>'
+            f'<text x="{_W - _MR - 105}" y="{ly + 4}">{label}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path, svg: str) -> None:
+    """Write an SVG string to disk (parent directory must exist)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)

@@ -1,0 +1,48 @@
+"""Fixed-width table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value - round(value)) < 1e-9:
+            return f"{int(round(value))}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render rows as an aligned fixed-width text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x (scaling exponent)."""
+    import numpy as np
+
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    if lx.size < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)

@@ -1,0 +1,71 @@
+"""Argument validation helpers.
+
+All public entry points of the library validate their inputs through these
+functions so error messages are uniform and tests can assert on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer; return it as ``int``."""
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    value = check_positive_int(value, name)
+    if value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_square(a: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``a`` is a 2-D square ndarray of floats."""
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"{name} must be square 2-D, got shape {a.shape}")
+    return a
+
+
+def check_symmetric(a: np.ndarray, name: str = "matrix", tol: float = 1e-10) -> np.ndarray:
+    """Validate that ``a`` is symmetric to within ``tol`` (relative)."""
+    a = check_square(a, name)
+    scale = max(1.0, float(np.abs(a).max(initial=0.0)))
+    if np.abs(a - a.T).max(initial=0.0) > tol * scale:
+        raise ValueError(f"{name} is not symmetric to tolerance {tol}")
+    return a
+
+
+def check_banded(a: np.ndarray, bandwidth: int, name: str = "matrix", tol: float = 1e-12) -> np.ndarray:
+    """Validate that ``a`` has (half) band-width <= ``bandwidth``.
+
+    Band-width ``b`` means ``a[i, j] == 0`` whenever ``|i - j| > b``, the
+    convention used throughout the paper.
+    """
+    a = check_square(a, name)
+    n = a.shape[0]
+    scale = max(1.0, float(np.abs(a).max(initial=0.0)))
+    i, j = np.indices((n, n))
+    outside = np.abs(i - j) > bandwidth
+    if outside.any() and np.abs(a[outside]).max(initial=0.0) > tol * scale:
+        raise ValueError(f"{name} has nonzeros outside band-width {bandwidth}")
+    return a
+
+
+def matrix_bandwidth(a: np.ndarray, tol: float = 1e-12) -> int:
+    """Return the smallest b such that ``a[i,j]=0`` for ``|i-j|>b`` (within tol)."""
+    a = check_square(a, "matrix")
+    n = a.shape[0]
+    scale = max(1.0, float(np.abs(a).max(initial=0.0)))
+    for b in range(n - 1, 0, -1):
+        # largest offset diagonal with a significant entry
+        if max(np.abs(np.diag(a, b)).max(initial=0.0), np.abs(np.diag(a, -b)).max(initial=0.0)) > tol * scale:
+            return b
+    return 0

@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def machine4():
+    return BSPMachine(4)
+
+
+@pytest.fixture
+def machine8():
+    return BSPMachine(8)
+
+
+@pytest.fixture
+def machine16():
+    return BSPMachine(16)
+

@@ -1,0 +1,17 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def eig_err(a: np.ndarray, b_or_evals: np.ndarray) -> float:
+    """Max relative |λ_i(A) − λ_i(B)| (B a matrix or a sorted eigenvalue
+    vector), scaled by the spectral magnitude."""
+    ref = np.linalg.eigvalsh(a)
+    if b_or_evals.ndim == 2:
+        other = np.linalg.eigvalsh(b_or_evals)
+    else:
+        other = np.sort(np.asarray(b_or_evals))
+    scale = max(1.0, np.abs(ref).max())
+    return float(np.abs(ref - other).max() / scale)

@@ -1,0 +1,68 @@
+"""Tests for the cost-analysis utilities (breakdowns and crossovers)."""
+
+import pytest
+
+from repro.bsp import BSPMachine, MachineParams
+from repro.eig import eigensolve_2p5d
+from repro.model.analysis import (
+    crossover_p,
+    dominant_component,
+    speedup_curve,
+    time_breakdown,
+)
+from repro.model.costs import eigensolver_2p5d_cost
+from repro.util.matrices import random_symmetric
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        cost = eigensolver_2p5d_cost(4096, 256, 0.5)
+        bd = time_breakdown(cost, MachineParams())
+        shares = sum(bd[k] for k in
+                     ("compute_share", "horizontal_share", "vertical_share", "synchronization_share"))
+        assert shares == pytest.approx(1.0)
+        assert bd["total"] == pytest.approx(
+            bd["compute"] + bd["horizontal"] + bd["vertical"] + bd["synchronization"]
+        )
+
+    def test_works_on_measured_costs(self):
+        m = BSPMachine(4)
+        eigensolve_2p5d(m, random_symmetric(32, 0))
+        bd = time_breakdown(m.cost(), m.params)
+        assert bd["total"] > 0
+
+    def test_dominant_component_tracks_params(self):
+        cost = eigensolver_2p5d_cost(4096, 256, 0.5)
+        assert dominant_component(cost, MachineParams(gamma=1e9, beta=0, nu=0, alpha=0)) == "compute"
+        assert dominant_component(cost, MachineParams(gamma=0, beta=1e9, nu=0, alpha=0)) == "horizontal"
+        assert dominant_component(cost, MachineParams(gamma=0, beta=0, nu=0, alpha=1e9)) == "synchronization"
+
+
+class TestCrossover:
+    def test_bandwidth_bound_crosses_early(self):
+        params = MachineParams(gamma=0.01, beta=1000.0, nu=1.0, alpha=1.0)
+        p = crossover_p(1 << 16, params, baseline="scalapack")
+        assert p is not None
+        assert p <= 1 << 16
+
+    def test_latency_bound_crosses_immediately_vs_scalapack(self):
+        # Table I's S column: ScaLAPACK synchronizes per column (n log p),
+        # the 2.5D solver only p^delta log^2 p times — on a pure-latency
+        # machine the crossover is immediate whenever n >> p^delta.
+        params = MachineParams(gamma=0.0, beta=0.0, nu=0.0, alpha=1.0)
+        assert crossover_p(1 << 14, params, baseline="scalapack") == 2
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            crossover_p(1024, MachineParams(), baseline="mkl")
+
+    def test_speedup_curve_grows_on_bandwidth_machine(self):
+        params = MachineParams(gamma=0.01, beta=1000.0, nu=1.0, alpha=1.0)
+        curve = speedup_curve(1 << 16, params)
+        ratios = [r for _, r in curve]
+        assert ratios[-1] > ratios[0]
+        assert ratios[-1] > 1.0
+
+    def test_speedup_curve_elpa(self):
+        curve = speedup_curve(1 << 15, MachineParams(), baseline="elpa", p_values=(256, 4096))
+        assert len(curve) == 2

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_solve_small(self, capsys):
+        rc = main(["solve", "--n", "48", "--p", "4", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "max |lambda - numpy|" in out
+        assert "full_to_band" in out
+
+    def test_solve_delta_flag(self, capsys):
+        rc = main(["solve", "--n", "48", "--p", "16", "--delta", "0.5"])
+        assert rc == 0
+        assert "c=1" in capsys.readouterr().out
+
+
+class TestTable1:
+    def test_prints_symbolic_and_numeric(self, capsys):
+        rc = main(["table1", "--n", "4096", "--p", "256"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Theorem IV.4" in out
+        assert "n^2/p^delta" in out
+        assert "evaluated at n=4096" in out
+
+
+class TestFigures:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "recursive step" in capsys.readouterr().out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "(3,1)" in out and "(1,6)" in out
+
+
+class TestTune:
+    def test_tune_default(self, capsys):
+        rc = main(["tune", "--n", "8192", "--p", "512"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best delta" in out
+
+    def test_tune_infeasible_memory(self, capsys):
+        rc = main(["tune", "--n", "100000", "--p", "4", "--memory", "10"])
+        assert rc == 1
+        assert "no feasible delta" in capsys.readouterr().err
+
+    def test_tune_latency_bound_picks_half(self, capsys):
+        rc = main(["tune", "--n", "8192", "--p", "512", "--beta", "0.001", "--alpha", "1e9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best delta = 0.5000" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

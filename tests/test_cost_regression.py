@@ -1,0 +1,73 @@
+"""Golden cost-regression corpus.
+
+In a library whose *product is measured costs*, silently changing a charge
+is a correctness bug even when the numerics stay exact.  These tests pin
+the measured (F, W, S) of each building block at fixed inputs; an
+intentional cost-model change must update the golden values (and, if
+material, the numbers cited in EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine
+from repro.blocks import carma_matmul, rect_qr, streaming_matmul, tsqr
+from repro.dist.grid import ProcGrid
+from repro.eig import eigensolve_2p5d
+from repro.util.matrices import random_symmetric
+
+
+@pytest.fixture
+def rng123():
+    return np.random.default_rng(123)
+
+
+def check(cost, f, w, s):
+    assert cost.F == pytest.approx(f, rel=1e-9)
+    assert cost.W == pytest.approx(w, rel=1e-9)
+    assert cost.S == s
+
+
+class TestGoldenCosts:
+    def test_carma(self, rng123):
+        m = BSPMachine(8)
+        carma_matmul(m, m.world, rng123.standard_normal((64, 32)), rng123.standard_normal((32, 16)))
+        check(m.cost(), 8320.0, 1280.0, 4)
+
+    def test_streaming(self, rng123):
+        m = BSPMachine(16)
+        streaming_matmul(
+            m, ProcGrid(m, (2, 2, 4)),
+            rng123.standard_normal((64, 64)), rng123.standard_normal((64, 8)), a_key="A",
+        )
+        check(m.cost(), 4128.0, 256.0, 3)
+
+    def test_tsqr(self, rng123):
+        m = BSPMachine(8)
+        tsqr(m, m.world, rng123.standard_normal((128, 8)))
+        check(m.cost(), 13013.333333333336, 281.25483399593907, 11)
+
+    def test_rect_qr(self, rng123):
+        m = BSPMachine(8)
+        rect_qr(m, m.world, rng123.standard_normal((128, 16)))
+        check(m.cost(), 85598.71111111112, 4135.1149427694845, 73)
+
+    def test_full_driver(self):
+        m = BSPMachine(16)
+        res = eigensolve_2p5d(m, random_symmetric(64, seed=99), delta=2.0 / 3.0)
+        check(res.cost, 1522450.9777777777, 21510.295750816636, 312)
+        assert res.cost.Q == pytest.approx(34267.0, rel=1e-9)
+        assert res.cost.M == pytest.approx(4608.0, rel=1e-9)
+
+    def test_costs_are_value_independent(self, rng123):
+        """Same structure, different entries: identical charges (cost
+        depends on shapes and layouts only)."""
+        costs = []
+        for seed in (1, 2):
+            m = BSPMachine(8)
+            r = np.random.default_rng(seed)
+            carma_matmul(m, m.world, r.standard_normal((40, 24)), r.standard_normal((24, 8)))
+            costs.append(m.cost())
+        assert costs[0].F == costs[1].F
+        assert costs[0].W == costs[1].W
+        assert costs[0].S == costs[1].S

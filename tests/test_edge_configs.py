@@ -1,0 +1,88 @@
+"""Edge-case machine/matrix configurations for the full pipeline.
+
+The paper assumes divisibility everywhere (n mod b = 0, p = q²c, powers of
+two); a usable library cannot.  These tests pin down behaviour at awkward
+sizes: prime p, non-square-factorable p, odd n, n barely above p, and
+band-widths that do not divide n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine
+from repro.dist.banded import DistBandMatrix
+from repro.dist.grid import factor_2p5d
+from repro.eig import eigensolve_2p5d
+from repro.eig.band_to_band import band_to_band_2p5d
+from repro.eig.ca_sbr import ca_sbr_reduce
+from repro.util.matrices import random_banded_symmetric, random_symmetric
+
+from tests.helpers import eig_err
+
+
+class TestAwkwardMachineSizes:
+    @pytest.mark.parametrize("p", [3, 5, 6, 7, 12, 24])
+    def test_non_square_p(self, p):
+        a = random_symmetric(48, seed=p)
+        res = eigensolve_2p5d(BSPMachine(p), a)
+        assert eig_err(a, res.eigenvalues) < 1e-8
+
+    def test_prime_p_degenerates_to_valid_grid(self):
+        q, c = factor_2p5d(13, 0.6)
+        assert q * q * c == 13
+
+    def test_p_equals_n(self):
+        a = random_symmetric(16, seed=1)
+        res = eigensolve_2p5d(BSPMachine(16), a)
+        assert eig_err(a, res.eigenvalues) < 1e-8
+
+
+class TestAwkwardMatrixSizes:
+    @pytest.mark.parametrize("n", [17, 31, 33, 50])
+    def test_odd_and_prime_n(self, n):
+        a = random_symmetric(n, seed=n)
+        res = eigensolve_2p5d(BSPMachine(4), a)
+        assert eig_err(a, res.eigenvalues) < 1e-8
+
+    def test_tiny_n(self):
+        for n in (2, 3, 5):
+            a = random_symmetric(n, seed=n)
+            res = eigensolve_2p5d(BSPMachine(1), a)
+            assert eig_err(a, res.eigenvalues) < 1e-9
+
+    def test_band_not_dividing_n(self):
+        a = random_banded_symmetric(50, 12, seed=2)
+        m = BSPMachine(4)
+        out = band_to_band_2p5d(m, DistBandMatrix(m, a.copy(), 12, m.world), k=2)
+        assert eig_err(a, out.data) < 1e-9
+
+    def test_ca_sbr_odd_band(self):
+        a = random_banded_symmetric(45, 7, seed=3)
+        m = BSPMachine(3)
+        out = ca_sbr_reduce(m, DistBandMatrix(m, a.copy(), 7, m.world), 1)
+        assert out.b == 1
+        assert eig_err(a, out.data) < 1e-9
+
+
+class TestScaleInvariance:
+    def test_spectrum_scaling(self):
+        """Solving c·A must give c·λ(A) — the pipeline has no hidden
+        absolute thresholds."""
+        a = random_symmetric(32, seed=4)
+        r1 = eigensolve_2p5d(BSPMachine(4), a).eigenvalues
+        r2 = eigensolve_2p5d(BSPMachine(4), 1e6 * a).eigenvalues
+        assert np.abs(r2 - 1e6 * r1).max() < 1e-4  # 1e6-scaled tolerance
+
+    def test_shift_invariance(self):
+        a = random_symmetric(32, seed=5)
+        r1 = eigensolve_2p5d(BSPMachine(4), a).eigenvalues
+        r2 = eigensolve_2p5d(BSPMachine(4), a + 100.0 * np.eye(32)).eigenvalues
+        assert np.abs((r2 - 100.0) - r1).max() < 1e-8
+
+    def test_costs_independent_of_values(self):
+        """Communication depends on structure, not entries."""
+        m1, m2 = BSPMachine(8), BSPMachine(8)
+        eigensolve_2p5d(m1, random_symmetric(40, seed=6))
+        eigensolve_2p5d(m2, random_symmetric(40, seed=777) * 3.0)
+        assert m1.cost().W == m2.cost().W
+        assert m1.cost().S == m2.cost().S

@@ -1,0 +1,88 @@
+"""Tests for the eigenvector back-transformation extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.eigvec import symmetric_eig
+from repro.util.matrices import (
+    clustered_spectrum,
+    random_spectrum_symmetric,
+    random_symmetric,
+    wilkinson,
+)
+
+
+def decomposition_checks(a, dec, tol=1e-8):
+    n = a.shape[0]
+    scale = max(1.0, np.abs(dec.eigenvalues).max())
+    ref = np.linalg.eigvalsh(a)
+    assert np.abs(dec.eigenvalues - ref).max() < tol * scale
+    resid = np.abs(a @ dec.eigenvectors - dec.eigenvectors * dec.eigenvalues).max()
+    assert resid < tol * scale
+    orth = np.abs(dec.eigenvectors.T @ dec.eigenvectors - np.eye(n)).max()
+    assert orth < tol
+
+
+class TestSymmetricEig:
+    def test_random(self):
+        a = random_symmetric(40, seed=1)
+        decomposition_checks(a, symmetric_eig(a))
+
+    def test_explicit_bandwidth(self):
+        a = random_symmetric(32, seed=2)
+        dec = symmetric_eig(a, b=8)
+        decomposition_checks(a, dec)
+        assert dec.stage_bandwidths == [8, 4, 2, 1]
+
+    def test_wilkinson_clusters(self):
+        w = wilkinson(31)
+        decomposition_checks(w, symmetric_eig(w), tol=1e-7)
+
+    def test_tight_clusters(self):
+        vals = clustered_spectrum(24, n_clusters=3, spread=1e-10, seed=3)
+        a = random_spectrum_symmetric(vals, seed=4)
+        dec = symmetric_eig(a)
+        # Residual and orthogonality are the right metrics for clusters
+        # (individual vectors within a cluster are not unique).
+        resid = np.abs(a @ dec.eigenvectors - dec.eigenvectors * dec.eigenvalues).max()
+        assert resid < 1e-7 * max(1, np.abs(vals).max())
+        assert np.abs(dec.eigenvectors.T @ dec.eigenvectors - np.eye(24)).max() < 1e-7
+
+    def test_one_by_one(self):
+        dec = symmetric_eig(np.array([[3.0]]))
+        assert dec.eigenvalues[0] == 3.0
+        assert dec.eigenvectors[0, 0] == 1.0
+
+    def test_diagonal_input(self):
+        a = np.diag(np.array([3.0, -1.0, 2.0, 0.5]))
+        decomposition_checks(a, symmetric_eig(a), tol=1e-10)
+
+    def test_stage_count_is_logarithmic(self):
+        a = random_symmetric(64, seed=5)
+        dec = symmetric_eig(a, b=16)
+        # b, b/2, ..., 1: log2(b)+1 stages.
+        assert dec.n_stages == 5
+        assert dec.stage_bandwidths[-1] == 1
+
+    def test_back_transform_cost_linear_in_stages(self):
+        """The paper's warning: each extra reduction stage costs O(n³)-class
+        work in the back-transformation path — flops_per_stage must all be
+        the same order, so total grows ~linearly with the stage count."""
+        a = random_symmetric(64, seed=6)
+        dec = symmetric_eig(a, b=16)
+        n = 64
+        for f in dec.flops_per_stage:
+            assert f > 0
+            assert f < 40 * n**3
+        assert sum(dec.flops_per_stage) > dec.n_stages * min(dec.flops_per_stage)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            symmetric_eig(np.triu(np.ones((4, 4))))
+
+    @given(st.integers(4, 28), st.integers(0, 30))
+    @settings(max_examples=12, deadline=None)
+    def test_property_random(self, n, seed):
+        a = random_symmetric(n, seed=seed)
+        decomposition_checks(a, symmetric_eig(a), tol=1e-7)

@@ -1,0 +1,69 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+The heavier mains are exercised through their parameterizable entry points
+at reduced sizes; quickstart runs as-is (it is the advertised first contact
+with the library and must work verbatim).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import numpy as np
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def test_quickstart_runs_verbatim(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "max |lambda - numpy|" in out
+    assert "full_to_band" in out
+
+
+def test_scaling_study_small(capsys):
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        mod = runpy.run_path(str(EXAMPLES / "scaling_study.py"))
+        mod["main"](64)
+    finally:
+        sys.path.pop(0)
+    out = capsys.readouterr().out
+    assert "fitted W ~ p^e" in out
+    assert "ScaLAPACK-like" in out
+
+
+def test_electronic_structure_scf_converges(capsys):
+    mod = runpy.run_path(str(EXAMPLES / "electronic_structure.py"))
+    energies, iters, cost = mod["scf"](n=48, n_occ=6, p=16, max_iter=8)
+    assert energies is not None and energies.size == 48
+    assert np.all(np.diff(energies) >= -1e-12)
+    assert cost.W > 0
+    assert iters <= 8
+
+
+def test_machine_tuning_profiles(capsys):
+    mod = runpy.run_path(str(EXAMPLES / "machine_tuning.py"))
+    # The module-level main does model sweeps + a measured validation; run
+    # its pieces at the module's own sizes (fast).
+    mod["main"]()
+    out = capsys.readouterr().out
+    assert "bandwidth-bound" in out
+    assert "winner" in out
+
+
+def test_density_of_states(capsys):
+    mod = runpy.run_path(str(EXAMPLES / "density_of_states.py"))
+    h = mod["anderson_hamiltonian"](6, 2.0)
+    assert np.allclose(h, h.T)
+    assert h.shape == (36, 36)
+    hist = mod["ascii_histogram"](np.linspace(-1, 1, 50), bins=5)
+    assert hist.count("\n") == 4
+
+
+def test_density_of_states_main(capsys):
+    runpy.run_path(str(EXAMPLES / "density_of_states.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Van Hove" in out
+    assert "disorder W = 4.0" in out

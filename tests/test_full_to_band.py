@@ -1,0 +1,108 @@
+"""Tests for Algorithm IV.1: 2.5D full-to-band reduction."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine, MachineParams
+from repro.dist.grid import ProcGrid
+from repro.eig.full_to_band import full_to_band_2p5d, grid_delta
+from repro.util.matrices import random_symmetric
+from repro.util.validation import matrix_bandwidth
+
+from tests.helpers import eig_err
+
+
+def run(shape, n, b, seed=0, params=None, **kw):
+    p = shape[0] * shape[1] * shape[2]
+    mach = BSPMachine(p, params)
+    grid = ProcGrid(mach, shape)
+    a = random_symmetric(n, seed=seed)
+    out = full_to_band_2p5d(mach, grid, a, b, **kw)
+    return mach, a, out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (2, 2, 1), (2, 2, 2), (2, 2, 4), (4, 4, 1)])
+    def test_bandwidth_and_spectrum(self, shape):
+        mach, a, out = run(shape, 48, 8)
+        assert matrix_bandwidth(out) <= 8
+        assert eig_err(a, out) < 1e-10
+
+    @pytest.mark.parametrize("n,b", [(40, 5), (48, 16), (33, 4), (24, 23)])
+    def test_various_bandwidths(self, n, b):
+        mach, a, out = run((2, 2, 1), n, b)
+        assert matrix_bandwidth(out) <= b
+        assert eig_err(a, out) < 1e-10
+
+    def test_output_is_symmetric(self):
+        _, _, out = run((2, 2, 1), 32, 4)
+        assert np.abs(out - out.T).max() < 1e-12
+
+    def test_rejects_non3d_grid(self):
+        mach = BSPMachine(4)
+        with pytest.raises(ValueError):
+            full_to_band_2p5d(mach, ProcGrid(mach, (2, 2)), np.eye(8), 2)
+
+    def test_rejects_bad_bandwidth(self):
+        mach = BSPMachine(4)
+        grid = ProcGrid(mach, (2, 2, 1))
+        with pytest.raises(ValueError):
+            full_to_band_2p5d(mach, grid, random_symmetric(8, 0), 8)
+
+    def test_rejects_asymmetric(self):
+        mach = BSPMachine(4)
+        grid = ProcGrid(mach, (2, 2, 1))
+        with pytest.raises(ValueError):
+            full_to_band_2p5d(mach, grid, np.triu(np.ones((8, 8))), 2)
+
+
+class TestGridDelta:
+    def test_delta_half_for_c1(self):
+        mach = BSPMachine(16)
+        assert grid_delta(ProcGrid(mach, (4, 4, 1))) == pytest.approx(0.5)
+
+    def test_delta_two_thirds_for_cube(self):
+        mach = BSPMachine(64)
+        assert grid_delta(ProcGrid(mach, (4, 4, 4))) == pytest.approx(2.0 / 3.0)
+
+    def test_single_rank(self):
+        mach = BSPMachine(1)
+        assert grid_delta(ProcGrid(mach, (1, 1, 1))) == 0.5
+
+
+class TestCostProfile:
+    def test_replication_reduces_w(self):
+        """The headline (Lemma IV.1): at fixed p, W drops with c."""
+        n, b = 256, 32
+        m1, _, _ = run((4, 4, 1), n, b)
+        m2, _, _ = run((2, 2, 4), n, b)
+        assert m2.cost().W < m1.cost().W
+
+    def test_memory_grows_with_replication(self):
+        n, b = 128, 16
+        m1, _, _ = run((4, 4, 1), n, b)
+        m2, _, _ = run((2, 2, 4), n, b)
+        # M = O(n²/q²): q drops 4 -> 2, footprint grows ~4x.
+        assert m2.cost().M > 2 * m1.cost().M
+
+    def test_work_efficiency(self):
+        n, b, p = 96, 16, 16
+        mach, _, _ = run((2, 2, 4), n, b)
+        assert mach.cost().total_flops < 30 * 2 * n**3
+
+    def test_small_cache_pays_extra_vertical(self):
+        """Lemma IV.1's conditional Q term: H below the replicated footprint
+        forces the trailing matrix through memory every panel."""
+        n, b, q = 96, 16, 2
+        big, _, _ = run((2, 2, 1), n, b, params=MachineParams(cache_words=1e9))
+        small, _, _ = run((2, 2, 1), n, b, params=MachineParams(cache_words=100.0))
+        extra = small.cost().Q - big.cost().Q
+        # The conditional term of Lemma IV.1 is (n/b)·n²/q² per rank.
+        predicted = (n / b) * n * n / q**2
+        assert extra > 0.25 * predicted
+
+    def test_supersteps_grow_sublinearly_in_n(self):
+        m1, _, _ = run((2, 2, 1), 64, 16)
+        m2, _, _ = run((2, 2, 1), 128, 32)
+        # S depends on panel count and p, not on n for fixed n/b.
+        assert m2.cost().S < 2.5 * m1.cost().S

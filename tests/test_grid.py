@@ -1,0 +1,96 @@
+"""Tests for processor grids and the 2.5D factorization helper."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine, RankGroup
+from repro.dist.grid import ProcGrid, factor_2p5d
+
+
+class TestFactor2p5d:
+    def test_delta_half_gives_c1(self):
+        assert factor_2p5d(16, 0.5) == (4, 1)
+        assert factor_2p5d(64, 0.5) == (8, 1)
+
+    def test_delta_two_thirds_gives_cube(self):
+        assert factor_2p5d(64, 2.0 / 3.0) == (4, 4)
+        assert factor_2p5d(8, 2.0 / 3.0) == (2, 2)
+
+    def test_product_is_p(self):
+        for p in (1, 4, 8, 16, 36, 64, 128, 256):
+            q, c = factor_2p5d(p, 0.6)
+            assert q * q * c == p
+
+    def test_rejects_delta_out_of_range(self):
+        with pytest.raises(ValueError):
+            factor_2p5d(16, 0.8)
+
+    def test_prime_p_falls_back_to_degenerate_grid(self):
+        # Every p admits at least the q=1, c=p factorization.
+        assert factor_2p5d(7, 0.5) == (1, 7)
+
+
+class TestProcGrid:
+    def test_rank_at_row_major(self):
+        m = BSPMachine(12)
+        g = ProcGrid(m, (3, 4))
+        assert g.rank_at(0, 0) == 0
+        assert g.rank_at(0, 3) == 3
+        assert g.rank_at(2, 3) == 11
+
+    def test_rank_at_validates(self):
+        m = BSPMachine(4)
+        g = ProcGrid(m, (2, 2))
+        with pytest.raises(ValueError):
+            g.rank_at(2, 0)
+        with pytest.raises(ValueError):
+            g.rank_at(0)
+
+    def test_custom_rank_set(self):
+        m = BSPMachine(8)
+        g = ProcGrid(m, (2, 2), RankGroup((4, 5, 6, 7)))
+        assert g.rank_at(1, 1) == 7
+
+    def test_size_mismatch_rejected(self):
+        m = BSPMachine(8)
+        with pytest.raises(ValueError):
+            ProcGrid(m, (3, 3))  # needs 9 > 8 ranks
+
+    def test_layer_and_fiber(self):
+        m = BSPMachine(8)
+        g = ProcGrid(m, (2, 2, 2))
+        l0 = g.layer(0)
+        l1 = g.layer(1)
+        assert l0.shape == (2, 2)
+        assert set(l0.group()) | set(l1.group()) == set(range(8))
+        assert set(l0.group()) & set(l1.group()) == set()
+        fiber = g.fiber(1, 1)
+        assert fiber.size == 2
+        assert set(fiber) == {g.rank_at(1, 1, 0), g.rank_at(1, 1, 1)}
+
+    def test_layers_cover_grid(self):
+        m = BSPMachine(27)
+        g = ProcGrid(m, (3, 3, 3))
+        all_ranks = set()
+        for layer in g.layers():
+            all_ranks |= set(layer.group())
+        assert all_ranks == set(range(27))
+
+    def test_subgrid(self):
+        m = BSPMachine(16)
+        g = ProcGrid(m, (2, 2, 4))
+        sub = g.subgrid(slice(0, 2), slice(0, 1), slice(0, 4))
+        assert sub.shape == (2, 1, 4)
+        assert sub.size == 8
+        assert all(r in g.group() for r in sub.group())
+
+    def test_row_col_groups(self):
+        m = BSPMachine(6)
+        g = ProcGrid(m, (2, 3))
+        assert g.row_group(1).ranks == (3, 4, 5)
+        assert g.col_group(2).ranks == (2, 5)
+
+    def test_layer_requires_3d(self):
+        m = BSPMachine(4)
+        with pytest.raises(ValueError):
+            ProcGrid(m, (2, 2)).layer(0)

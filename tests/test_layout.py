@@ -1,0 +1,136 @@
+"""Tests for matrix layouts and ownership maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bsp import BSPMachine, RankGroup
+from repro.dist.grid import ProcGrid
+from repro.dist.layout import (
+    BlockCyclicLayout,
+    BlockRowLayout,
+    CyclicLayout,
+    ReplicatedLayout,
+    transfer_histogram,
+)
+
+
+@pytest.fixture
+def grid4():
+    return ProcGrid(BSPMachine(4), (2, 2))
+
+
+class TestCyclic:
+    def test_owner_pattern(self, grid4):
+        lay = CyclicLayout(grid4, 4, 4)
+        om = lay.owner_map()
+        assert om[0, 0] == grid4.rank_at(0, 0)
+        assert om[1, 0] == grid4.rank_at(1, 0)
+        assert om[2, 2] == grid4.rank_at(0, 0)
+
+    def test_perfect_balance_when_divisible(self, grid4):
+        lay = CyclicLayout(grid4, 8, 8)
+        wpr = lay.words_per_rank(4)
+        assert set(wpr) == {16}
+
+    def test_subview_preserves_ownership(self, grid4):
+        lay = CyclicLayout(grid4, 8, 8)
+        sub = lay.subview(2, 4, 4, 4)
+        full = lay.owner_map()
+        assert np.array_equal(sub.owner_map(), full[2:6, 4:8])
+
+    def test_offset_multiple_of_grid_keeps_balance(self, grid4):
+        # The Algorithm IV.1 invariant: trailing blocks at offsets divisible
+        # by q stay perfectly balanced.
+        lay = CyclicLayout(grid4, 8, 8).subview(2, 2, 6, 6)
+        wpr = lay.words_per_rank(4)
+        assert set(wpr) == {9}
+
+
+class TestBlockCyclic:
+    def test_block_granularity(self, grid4):
+        lay = BlockCyclicLayout(grid4, 8, 8, mb=2, nb=2)
+        om = lay.owner_map()
+        assert om[0, 0] == om[1, 1]  # same 2x2 block
+        assert om[0, 0] != om[2, 0]  # next block row
+
+    def test_rejects_bad_blocks(self, grid4):
+        with pytest.raises(ValueError):
+            BlockCyclicLayout(grid4, 8, 8, mb=0, nb=2)
+
+    def test_subview(self, grid4):
+        lay = BlockCyclicLayout(grid4, 8, 8, mb=2, nb=2)
+        sub = lay.subview(2, 2, 4, 4)
+        assert np.array_equal(sub.owner_map(), lay.owner_map()[2:6, 2:6])
+
+
+class TestBlockRow:
+    def test_contiguous_rows(self):
+        g = RankGroup((3, 5, 7))
+        lay = BlockRowLayout(g, 9, 4)
+        om = lay.owner_map()
+        assert set(om[0]) == {3} and set(om[3]) == {5} and set(om[8]) == {7}
+
+    def test_words_per_rank(self):
+        lay = BlockRowLayout(RankGroup((0, 1)), 5, 3)
+        wpr = lay.words_per_rank(2)
+        assert wpr[0] == 9 and wpr[1] == 6  # rows 3+2
+
+    def test_out_of_range_rejected(self):
+        lay = BlockRowLayout(RankGroup((0, 1)), 4, 2)
+        with pytest.raises(IndexError):
+            lay.owner(np.array([4]), np.array([0]))
+
+
+class TestReplicated:
+    def test_copies_and_primary(self):
+        m = BSPMachine(8)
+        g3 = ProcGrid(m, (2, 2, 2))
+        lays = [CyclicLayout(g3.layer(l), 4, 4) for l in range(2)]
+        rep = ReplicatedLayout(lays[0], lays[1:])
+        assert rep.n_copies == 2
+        assert rep.ranks().size == 8
+        assert np.array_equal(rep.owner_map(), lays[0].owner_map())
+
+    def test_shape_mismatch_rejected(self):
+        m = BSPMachine(8)
+        g3 = ProcGrid(m, (2, 2, 2))
+        a = CyclicLayout(g3.layer(0), 4, 4)
+        b = CyclicLayout(g3.layer(1), 5, 4)
+        with pytest.raises(ValueError):
+            ReplicatedLayout(a, [b])
+
+
+class TestTransferHistogram:
+    def test_identity_relayout_is_free(self, grid4):
+        lay = CyclicLayout(grid4, 6, 6)
+        assert transfer_histogram(lay, lay, 4) == {}
+
+    def test_conservation(self, grid4):
+        src = CyclicLayout(grid4, 8, 8)
+        dst = BlockCyclicLayout(grid4, 8, 8, mb=4, nb=4)
+        hist = transfer_histogram(src, dst, 4)
+        moved = sum(hist.values())
+        # Elements that stay put are excluded; the rest balance out.
+        src_out = {r: 0.0 for r in range(4)}
+        dst_in = {r: 0.0 for r in range(4)}
+        for (s, d), w in hist.items():
+            assert s != d
+            src_out[s] += w
+            dst_in[d] += w
+        assert moved <= 64
+        assert sum(src_out.values()) == sum(dst_in.values())
+
+    def test_shape_mismatch(self, grid4):
+        with pytest.raises(ValueError):
+            transfer_histogram(CyclicLayout(grid4, 4, 4), CyclicLayout(grid4, 5, 4), 4)
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_histogram_counts_exact(self, mm, nn):
+        grid = ProcGrid(BSPMachine(4), (2, 2))
+        src = CyclicLayout(grid, mm, nn)
+        dst = BlockRowLayout(RankGroup((0, 1, 2, 3)), mm, nn)
+        hist = transfer_histogram(src, dst, 4)
+        om_s, om_d = src.owner_map(), dst.owner_map()
+        assert sum(hist.values()) == int((om_s != om_d).sum())

@@ -1,0 +1,80 @@
+"""Tests for the cost profiler."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine
+from repro.bsp.profile import Profiler
+from repro.blocks.rect_qr import rect_qr
+from repro.blocks.streaming import streaming_matmul
+from repro.dist.grid import ProcGrid
+
+
+class TestProfiler:
+    def test_attributes_charges_to_sections(self):
+        m = BSPMachine(4)
+        prof = Profiler(m)
+        with prof.section("a"):
+            m.charge_flops(0, 100.0)
+        with prof.section("b"):
+            m.charge_comm(sends={0: 10.0}, recvs={1: 10.0})
+            m.superstep()
+        assert prof.sections["a"].flops == 100.0
+        assert prof.sections["a"].words == 0.0
+        # Section costs are critical-path values (max over ranks): rank 0
+        # sent 10 and rank 1 received 10, so the max is 10.
+        assert prof.sections["b"].words == 10.0
+        assert prof.sections["b"].supersteps == 1
+
+    def test_repeated_sections_accumulate(self):
+        m = BSPMachine(2)
+        prof = Profiler(m)
+        for _ in range(3):
+            with prof.section("loop"):
+                m.charge_flops(0, 1.0)
+        assert prof.sections["loop"].calls == 3
+        assert prof.sections["loop"].flops == 3.0
+
+    def test_nesting_depth_recorded(self):
+        m = BSPMachine(2)
+        prof = Profiler(m)
+        with prof.section("outer"):
+            with prof.section("inner"):
+                m.charge_flops(0, 5.0)
+        assert prof.sections["outer"].depth == 0
+        assert prof.sections["inner"].depth == 1
+        # Parent includes the child's charges.
+        assert prof.sections["outer"].flops == 5.0
+
+    def test_report_and_top(self):
+        m = BSPMachine(4)
+        prof = Profiler(m)
+        grid = ProcGrid(m, (2, 2, 1))
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 8))
+        with prof.section("mm"):
+            streaming_matmul(m, grid, a, b)
+        with prof.section("qr"):
+            rect_qr(m, m.world, rng.standard_normal((64, 8)))
+        text = prof.report()
+        assert "mm" in text and "qr" in text and "share" in text
+        assert prof.top("flops") in ("mm", "qr")
+
+    def test_report_rejects_bad_key(self):
+        prof = Profiler(BSPMachine(1))
+        with pytest.raises(ValueError):
+            prof.report(sort_by="bogus")
+
+    def test_top_requires_sections(self):
+        with pytest.raises(ValueError):
+            Profiler(BSPMachine(1)).top()
+
+    def test_exception_inside_section_still_recorded(self):
+        m = BSPMachine(1)
+        prof = Profiler(m)
+        with pytest.raises(RuntimeError):
+            with prof.section("boom"):
+                m.charge_flops(0, 7.0)
+                raise RuntimeError("x")
+        assert prof.sections["boom"].flops == 7.0

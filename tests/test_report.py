@@ -1,0 +1,67 @@
+"""Tests for table formatting and the ASCII figures."""
+
+import pytest
+
+from repro.report.figures import render_figure1, render_figure2
+from repro.report.tables import fit_exponent, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["p", "W"], [[4, 100.0], [16, 25.5]], title="scaling")
+        lines = out.splitlines()
+        assert lines[0] == "scaling"
+        assert "p" in lines[1] and "W" in lines[1]
+        assert "100" in out and "25.5" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_number_formats(self):
+        out = format_table(["x"], [[1234567.0], [0.0001234], [3.0]])
+        assert "1.23e+06" in out
+        assert "0.000123" in out
+        assert "3" in out
+
+    def test_fit_exponent(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x**1.5 for x in xs]
+        assert fit_exponent(xs, ys) == pytest.approx(1.5, abs=1e-9)
+
+    def test_fit_exponent_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1.0], [2.0])
+
+
+class TestFigure1:
+    def test_contains_panel_and_trailing(self):
+        fig = render_figure1()
+        assert "P" in fig and "A" in fig and "#" in fig
+        assert "recursive step 3" in fig
+        assert "recursive step 4" in fig
+        assert "legend" in fig
+
+    def test_aggregates_grow_between_steps(self):
+        fig = render_figure1(step=2)
+        s2, s3 = fig.split("recursive step 3")
+        assert s2.count("u") < s3.count("u")
+
+    def test_step_bounds(self):
+        with pytest.raises(ValueError):
+            render_figure1(n_panels=4, step=4)
+
+
+class TestFigure2:
+    def test_default_reproduces_paper_sets(self):
+        fig = render_figure2()
+        assert "(3,1)" in fig and "(2,3)" in fig and "(1,5)" in fig
+        assert "(3,2)" in fig and "(2,4)" in fig and "(1,6)" in fig
+
+    def test_marks_qr_and_update(self):
+        fig = render_figure2()
+        assert "Q" in fig and "v" in fig
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            render_figure2(n=24, b=8, k=2, phases=(99, 100))

@@ -1,0 +1,43 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.report.svg import line_chart, save_svg
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart({"a": [(1, 10), (10, 100)]}, title="t", xlabel="x", ylabel="y")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_series_rendered(self):
+        svg = line_chart({"first": [(1, 1), (2, 4)], "second": [(1, 2), (2, 8)]})
+        assert "first" in svg and "second" in svg
+        assert svg.count("<path") == 2
+        assert svg.count("<circle") == 4
+
+    def test_loglog_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            line_chart({"a": [(0, 1), (1, 2)]})
+
+    def test_linear_mode_allows_zero(self):
+        svg = line_chart({"a": [(0, 0), (1, 2)]}, loglog=False)
+        assert "<path" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        svg = line_chart({"a": [(1, 5), (2, 5)]})
+        ET.fromstring(svg)
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        save_svg(path, line_chart({"a": [(1, 1), (2, 2)]}))
+        assert path.read_text().startswith("<svg")

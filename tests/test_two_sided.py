@@ -1,0 +1,80 @@
+"""Tests for the two-sided aggregated update (Eqns IV.1 / IV.2)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.householder import compact_wy_qr
+from repro.linalg.two_sided import (
+    aggregated_update_apply,
+    aggregated_update_matmul,
+    symmetric_two_sided,
+    two_sided_update_vectors,
+)
+from repro.util.matrices import random_symmetric
+
+
+@pytest.fixture
+def wy(rng):
+    """A symmetric X and a Householder (U, T) pair acting on it."""
+    x = random_symmetric(20, seed=11)
+    u, t, _ = compact_wy_qr(rng.standard_normal((20, 5)))
+    return x, u, t
+
+
+class TestEqnIV1:
+    def test_matches_explicit_two_sided(self, wy):
+        x, u, t = wy
+        q = np.eye(20) - u @ t @ u.T
+        assert np.abs(symmetric_two_sided(x, u, t) - q.T @ x @ q).max() < 1e-11
+
+    def test_update_is_symmetric(self, wy):
+        x, u, t = wy
+        y = symmetric_two_sided(x, u, t)
+        assert np.abs(y - y.T).max() < 1e-11
+
+    def test_v_formula(self, wy):
+        # V = ½·U Tᵀ Uᵀ X U T − X U T, checked term by term.
+        x, u, t = wy
+        v = two_sided_update_vectors(u, t, x)
+        xut = x @ u @ t
+        v_ref = 0.5 * u @ t.T @ u.T @ xut - xut
+        assert np.abs(v - v_ref).max() < 1e-11
+
+    def test_eigenvalues_preserved(self, wy):
+        x, u, t = wy
+        y = symmetric_two_sided(x, u, t)
+        assert np.abs(np.linalg.eigvalsh(x) - np.linalg.eigvalsh(y)).max() < 1e-10
+
+
+class TestEqnIV2:
+    def test_deferred_matmul(self, wy, rng):
+        x, u, t = wy
+        v = two_sided_update_vectors(u, t, x)
+        y = rng.standard_normal((20, 7))
+        direct = aggregated_update_apply(x, u, v) @ y
+        deferred = aggregated_update_matmul(x, u, v, y)
+        assert np.abs(direct - deferred).max() < 1e-10
+
+
+class TestAggregation:
+    def test_two_updates_compose_by_appending_columns(self, rng):
+        """The property Algorithm IV.1 relies on: applying (U1,V1) then
+        (U2,V2) equals one update with U = [U1 U2], V = [V1 V2] when U2's
+        update is computed against the already-updated matrix."""
+        x = random_symmetric(16, seed=12)
+        u1, t1, _ = compact_wy_qr(rng.standard_normal((16, 3)))
+        v1 = two_sided_update_vectors(u1, t1, x)
+        x1 = aggregated_update_apply(x, u1, v1)
+        u2, t2, _ = compact_wy_qr(rng.standard_normal((16, 3)))
+        v2 = two_sided_update_vectors(u2, t2, x1)
+        x2_seq = aggregated_update_apply(x1, u2, v2)
+        u_all = np.hstack([u1, u2])
+        v_all = np.hstack([v1, v2])
+        x2_agg = aggregated_update_apply(x, u_all, v_all)
+        assert np.abs(x2_seq - x2_agg).max() < 1e-10
+
+    def test_empty_update_is_identity(self):
+        x = random_symmetric(8, seed=13)
+        u = np.zeros((8, 0))
+        v = np.zeros((8, 0))
+        assert np.array_equal(aggregated_update_apply(x, u, v), x)
