@@ -77,8 +77,8 @@ def square_qr(
         # Merge the panel reflectors into the aggregated (U, T).
         u[j0:, j0:j1] = up
         if j0 > 0:
-            cross = u[j0:, :j0].T @ up
-            t[:j0, j0:j1] = -t[:j0, :j0] @ cross @ tp
+            cross = u[j0:, :j0].T @ up  # cost: free(charged via matmul_flops two lines below)
+            t[:j0, j0:j1] = -t[:j0, :j0] @ cross @ tp  # cost: free(lower-order T-merge; dominant product charged below)
             machine.charge_flops(group, matmul_flops(j0, m - j0, nb) / g)
         t[j0:j1, j0:j1] = tp
     r = np.triu(a[:n, :])

@@ -99,7 +99,7 @@ def square_qr_25d(
             col = a[:, j0:j1]
             u_prev = u[:, :j0]
             w1 = streaming_matmul(machine, grid, u_prev.T, col, a_key=(tag, "U"), tag=f"{tag}:upd")
-            w2 = t[:j0, :j0].T @ w1
+            w2 = t[:j0, :j0].T @ w1  # cost: free(charged via charge_flops on the next line)
             machine.charge_flops(ggroup, 2.0 * j0 * j0 * nb / grid.size)
             a[:, j0:j1] = col - streaming_matmul(
                 machine, grid, u_prev, w2, a_key=(tag, "U"), tag=f"{tag}:upd"
@@ -112,9 +112,9 @@ def square_qr_25d(
         # Merge into the aggregate: T12 = −T11 (U_prevᵀ U_p) T22.
         u[j0:, j0:j1] = up
         if j0:
-            cross = u[j0:, :j0].T @ up
+            cross = u[j0:, :j0].T @ up  # cost: free(charged via charge_flops on the next line)
             machine.charge_flops(ggroup, 2.0 * j0 * (m - j0) * nb / grid.size)
-            t[:j0, j0:j1] = -t[:j0, :j0] @ cross @ tp
+            t[:j0, j0:j1] = -t[:j0, :j0] @ cross @ tp  # cost: free(lower-order T-merge; dominant product charged above)
         t[j0:j1, j0:j1] = tp
         # Replicate the new panel of U over the layers.
         rep = float(up.size) / (q * q)

@@ -69,7 +69,7 @@ def streaming_matmul(
         machine.trace.record("streaming_b_redist", group.ranks, words=float(n * k), tag=tag)
 
     # The numerical product (identical to the sum of the per-fiber partials).
-    c_out = a @ b
+    c_out = a @ b  # cost: free(numerical product computed once; flops charged per pipeline stage below)
 
     blk_m = -(-m // q)  # rows of Aij and of the C_ih partial
     blk_n = -(-n // q)  # cols of Aij / rows of B_jh

@@ -51,7 +51,7 @@ def summa_matmul(
     if panel <= 0:
         raise ValueError("panel must be positive")
 
-    c = a @ b
+    c = a @ b  # cost: free(numerical product computed once; flops charged per SUMMA step below)
 
     steps = -(-n // panel)
     # Per step and rank: receive an (m/q)×nb sliver of A (row broadcast) and

@@ -132,7 +132,7 @@ def tsqr_thin(
                 new_zs.append(zs[zi])
             else:
                 z = zs[zi]
-                prod = qnode @ z
+                prod = qnode @ z  # cost: free(explicit-Q expansion is simulation-only; Lemma III.4 charges the implicit tree QR)
                 new_zs.append(prod[:n, :])
                 new_zs.append(prod[n:, :])
             zi += 1

@@ -155,3 +155,87 @@ def local_elementwise(machine: BSPMachine, rank: int, arrays: list[np.ndarray], 
     words = float(sum(a.size for a in arrays))
     machine.charge_flops(rank, flops_per_elem * words)
     machine.mem_stream(rank, words)
+
+
+# ---------------------------------------------------------------------- #
+# group-sharded kernels
+#
+# The one-stage baselines (pdsytrd structure) split each trailing-matrix
+# operation evenly over a rank group: every rank computes its 1/g share and
+# the group reassembles via the collectives the caller charges.  These
+# kernels perform the numerics once (orchestrated simulation) and charge
+# each group member its share of flops and streaming traffic, so callers
+# never touch raw numpy math.
+
+
+def _group_size(ranks) -> int:
+    size = getattr(ranks, "size", None)
+    return int(size) if size is not None else len(tuple(ranks))
+
+
+def sharded_matvec(
+    machine: BSPMachine,
+    ranks,
+    a: np.ndarray,
+    v: np.ndarray,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """``y = scale·(A @ v)`` with A's rows sharded over the group.
+
+    Charges each rank 2mn/g flops and mn/g streamed words (A is read once,
+    split by rows; v is lower-order).
+    """
+    m, n = a.shape
+    g = _group_size(ranks)
+    y = scale * (a @ v)
+    machine.charge_flops(ranks, 2.0 * m * n / g)
+    for r in ranks:
+        machine.mem_stream(r, m * n / g)
+    return y
+
+
+def sharded_dot(machine: BSPMachine, ranks, x: np.ndarray, y: np.ndarray) -> float:
+    """Inner product with the vectors sharded over the group.
+
+    Each rank computes its 2n/g-flop partial; the caller charges the
+    allreduce that combines the partials.
+    """
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    g = _group_size(ranks)
+    n = float(x.size)
+    machine.charge_flops(ranks, 2.0 * n / g)
+    for r in ranks:
+        machine.mem_stream(r, 2.0 * n / g)
+    return float(np.dot(x.ravel(), y.ravel()))
+
+
+def sharded_axpy(machine: BSPMachine, ranks, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y += alpha·x`` in place, sharded over the group (2n/g flops each)."""
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    g = _group_size(ranks)
+    n = float(x.size)
+    y += alpha * x
+    machine.charge_flops(ranks, 2.0 * n / g)
+    for r in ranks:
+        machine.mem_stream(r, 2.0 * n / g)
+    return y
+
+
+def sharded_rank2_update(machine: BSPMachine, ranks, a: np.ndarray, v: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Symmetric rank-2 update ``A -= v wᵀ + w vᵀ`` in place, sharded.
+
+    4mn flops total (two multiplies + two adds per element), mn streamed
+    words, both split over the group — the trailing update of one
+    Householder column in the ScaLAPACK-like baseline.
+    """
+    m, n = a.shape
+    if v.shape != (m,) or w.shape != (n,):
+        raise ValueError(f"rank-2 update shape mismatch: A {a.shape}, v {v.shape}, w {w.shape}")
+    g = _group_size(ranks)
+    a -= np.outer(v, w) + np.outer(w, v)
+    machine.charge_flops(ranks, 4.0 * m * n / g)
+    for r in ranks:
+        machine.mem_stream(r, m * n / g)
+    return a

@@ -4,6 +4,11 @@ Commands
 --------
 solve    run the 2.5D eigensolver on a random symmetric matrix and print
          the spectrum edges plus the measured BSP cost breakdown
+         (``--verify`` runs it on a VerifiedMachine that asserts the BSP
+         discipline invariants every superstep)
+run      alias of ``solve``
+lint     static cost-accounting lint of the source tree (see
+         docs/static_analysis.md)
 table1   print the paper's Table I, symbolically and evaluated at (n, p)
 figure1  print the Figure 1 structure diagram (Algorithm IV.1)
 figure2  print the Figure 2 pipeline diagram (Algorithm IV.2)
@@ -15,22 +20,44 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro import BSPMachine, eigensolve_2p5d
     from repro.util import random_symmetric
+    from repro.util.validation import reference_spectrum_error
 
     a = random_symmetric(args.n, seed=args.seed)
-    machine = BSPMachine(args.p)
+    if args.verify:
+        from repro.lint.verify import VerifiedMachine
+
+        machine: BSPMachine = VerifiedMachine.for_problem(args.p, args.n, args.delta)
+    else:
+        machine = BSPMachine(args.p)
     res = eigensolve_2p5d(machine, a, delta=args.delta)
-    err = float(np.abs(res.eigenvalues - np.linalg.eigvalsh(a)).max())
+    err = reference_spectrum_error(a, res.eigenvalues)
     print(f"n={args.n} p={args.p} delta={res.delta:.3f} c={res.replication} b0={res.initial_bandwidth}")
     print(f"lambda_min={res.eigenvalues[0]:+.6f}  lambda_max={res.eigenvalues[-1]:+.6f}")
     print(f"max |lambda - numpy| = {err:.3e}")
     print(res.stage_summary())
+    if args.verify:
+        print(
+            f"verified: {machine.checks_run} invariant checks "
+            f"(conservation, monotone counters, M <= {machine.memory_bound_words:.4g} words/rank) passed"
+        )
     return 0 if err < 1e-6 else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import runner
+
+    argv = [str(p) for p in args.paths]
+    if args.baseline is not None:
+        argv += ["--baseline", str(args.baseline)]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    return runner.main(argv)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -99,12 +126,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_solve = sub.add_parser("solve", help="run the 2.5D eigensolver")
-    p_solve.add_argument("--n", type=int, default=128)
-    p_solve.add_argument("--p", type=int, default=16)
-    p_solve.add_argument("--delta", type=float, default=2.0 / 3.0)
-    p_solve.add_argument("--seed", type=int, default=0)
-    p_solve.set_defaults(fn=_cmd_solve)
+    for name in ("solve", "run"):
+        p_solve = sub.add_parser(name, help="run the 2.5D eigensolver" + (" (alias of solve)" if name == "run" else ""))
+        p_solve.add_argument("--n", type=int, default=128)
+        p_solve.add_argument("--p", type=int, default=16)
+        p_solve.add_argument("--delta", type=float, default=2.0 / 3.0)
+        p_solve.add_argument("--seed", type=int, default=0)
+        p_solve.add_argument(
+            "--verify",
+            action="store_true",
+            help="run on a VerifiedMachine asserting BSP discipline invariants per superstep",
+        )
+        p_solve.set_defaults(fn=_cmd_solve)
+
+    from pathlib import Path
+
+    p_lint = sub.add_parser("lint", help="static cost-accounting lint")
+    p_lint.add_argument("paths", nargs="*", type=Path)
+    p_lint.add_argument("--baseline", type=Path, default=None)
+    p_lint.add_argument("--no-baseline", action="store_true")
+    p_lint.add_argument("--write-baseline", action="store_true")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_t1 = sub.add_parser("table1", help="print Table I")
     p_t1.add_argument("--n", type=int, default=65536)

@@ -80,7 +80,7 @@ def apply_chase_parallel(
     v = -w
     vrows = slice(step.ov, step.ov + step.nr)
     inner = carma_matmul(machine, upd_group, u.T, w[vrows, :], charge_redistribution=False, tag=f"{tag}:V")
-    v[vrows, :] += 0.5 * (u @ (t.T @ inner))
+    v[vrows, :] += 0.5 * (u @ (t.T @ inner))  # cost: free(charged via charge_flops on the next line)
     machine.charge_flops(upd_group, 2.0 * u.size * t.shape[0] / upd_group.size)
     # Lines 21–22: two-sided rank-2h update of the window (both triangles;
     # the overlap block B[Iqr, Iqr] accumulates UVᵀ AND VUᵀ).

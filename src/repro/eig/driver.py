@@ -31,7 +31,7 @@ from repro.eig.full_to_band import full_to_band_2p5d
 from repro.linalg.sbr import tridiagonalize_band_seq
 from repro.linalg.tridiag import sturm_bisection_eigenvalues
 from repro.util.intlog import next_power_of_two
-from repro.util.validation import check_symmetric
+from repro.util.validation import check_symmetric, reference_spectrum_error
 
 
 def finish_sequential(machine: BSPMachine, band: DistBandMatrix, tag: str = "finish") -> np.ndarray:
@@ -175,6 +175,4 @@ def eigensolve_2p5d(
 def eigensolve_2p5d_check(machine: BSPMachine, a: np.ndarray, **kwargs) -> tuple[EigensolveResult, float]:
     """Run the solver and return (result, max |λ − λ_numpy|) — test helper."""
     res = eigensolve_2p5d(machine, a, **kwargs)
-    ref = np.linalg.eigvalsh(check_symmetric(a))
-    err = float(np.abs(res.eigenvalues - ref).max())
-    return res, err
+    return res, reference_spectrum_error(a, res.eigenvalues)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bsp.kernels import sharded_axpy, sharded_dot, sharded_matvec, sharded_rank2_update
 from repro.bsp.machine import BSPMachine
 from repro.linalg.householder import householder_vector
 from repro.linalg.tridiag import sturm_bisection_eigenvalues
@@ -42,21 +43,17 @@ def tridiagonalize_scalapack_like(
         if p > 1:
             machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
         # w = τ·A v (trailing matvec): flops and streaming split over ranks.
-        machine.charge_flops(group, 2.0 * nbar * nbar / p)
-        for r in group:
-            machine.mem_stream(r, nbar * nbar / p)
+        w = sharded_matvec(machine, group, a[j + 1 :, j + 1 :], v, scale=tau)
         # allreduce of the partial w segments.
         if p > 1:
             machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
         machine.superstep(group, 3)
         if tau != 0.0:
-            w = tau * (a[j + 1 :, j + 1 :] @ v)
-            w -= (0.5 * tau * np.dot(w, v)) * v
-            # Rank-2 symmetric update A ← A − v wᵀ − w vᵀ.
-            a[j + 1 :, j + 1 :] -= np.outer(v, w) + np.outer(w, v)
-            machine.charge_flops(group, 4.0 * nbar * nbar / p)
-            for r in group:
-                machine.mem_stream(r, nbar * nbar / p)
+            # w ← w − ½τ(wᵀv)v, then the rank-2 symmetric update
+            # A ← A − v wᵀ − w vᵀ; every flop routed through bsp.kernels.
+            wv = sharded_dot(machine, group, w, v)
+            sharded_axpy(machine, group, -0.5 * tau * wv, v, w)
+            sharded_rank2_update(machine, group, a[j + 1 :, j + 1 :], v, w)
         a[j + 1, j] = beta
         a[j, j + 1] = beta
         a[j + 2 :, j] = 0.0

@@ -5,6 +5,7 @@ Band-width ``b`` follows the paper's convention: ``A[i, j] = 0`` whenever
 ``data[d, j] = A[j + d, j]`` for ``d ∈ [0, b]`` — (b+1)·n words, which is what
 the distributed banded layer charges for memory and communication.
 """
+# cost: free-module(sequential band-container numerics; callers charge via repro.bsp.kernels or explicit machine charges)
 
 from __future__ import annotations
 

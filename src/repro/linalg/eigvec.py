@@ -16,6 +16,7 @@ claim can be exercised and the multi-stage overhead measured:
    accumulated*, which is exactly the linear-in-stages cost the paper warns
    about (measured in ``flops_per_stage``).
 """
+# cost: free-module(sequential back-transformation reference; not a charged parallel path (see docs/extending.md))
 
 from __future__ import annotations
 

@@ -8,6 +8,7 @@ Conventions (LAPACK-compatible):
   and ``T`` (n×n) is upper triangular — the representation Section IV of the
   paper aggregates across panels.
 """
+# cost: free-module(sequential numerics; flops charged by repro.bsp.kernels callers)
 
 from __future__ import annotations
 

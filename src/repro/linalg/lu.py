@@ -6,6 +6,7 @@ diagonal sign matrix chosen to make the matrix well conditioned for
 elimination; no pivoting keeps the factors triangular in the way the
 reconstruction formulas require.
 """
+# cost: free-module(sequential numerics; flops charged by repro.bsp.kernels callers)
 
 from __future__ import annotations
 

@@ -5,6 +5,7 @@ of ``nb`` columns and applies aggregated block reflectors to the trailing
 matrix — the sequential analogue of the communication-avoiding structure the
 parallel algorithms exploit, and the base case used by all of them.
 """
+# cost: free-module(sequential numerics; flops charged by repro.bsp.kernels callers)
 
 from __future__ import annotations
 

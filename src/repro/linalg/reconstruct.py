@@ -18,6 +18,7 @@ flip is benign — ``Q·S`` is an equally valid orthogonal factor with
 ``(Q·S)ᵀA = S·R`` — but callers must scale R's rows accordingly, so the
 signs are returned.
 """
+# cost: free-module(sequential numerics; flops charged by repro.bsp.kernels callers)
 
 from __future__ import annotations
 

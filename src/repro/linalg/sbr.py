@@ -22,6 +22,7 @@ Chase ``j`` exists while ``oqr_r < n``.  (The paper's loop bound
 bulge tails near the matrix bottom survive; the tests demonstrate the fixed
 bound reduces the band-width exactly.)
 """
+# cost: free-module(sequential numerics; flops charged by repro.bsp.kernels callers)
 
 from __future__ import annotations
 

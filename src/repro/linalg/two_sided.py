@@ -16,6 +16,7 @@ The deferred-application identity (Eqn IV.2):
 lets a left-looking algorithm multiply by the *updated* trailing matrix
 without ever forming it.
 """
+# cost: free-module(sequential numerics; flops charged by repro.bsp.kernels callers)
 
 from __future__ import annotations
 

@@ -1,0 +1,48 @@
+"""Cost-accounting lint and BSP discipline verification.
+
+Two layers keep the measured (F, W, Q, S) honest:
+
+* the **static** layer (:mod:`repro.lint.analyzer` + :mod:`repro.lint.runner`)
+  flags dense math and data motion that bypass the charging APIs
+  (``repro lint`` on the CLI);
+* the **dynamic** layer (:class:`VerifiedMachine`) re-checks conservation,
+  monotonicity, the per-rank memory bound, and read provenance at every
+  superstep (``repro run --verify`` / ``REPRO_VERIFY=1`` in tests).
+
+See docs/static_analysis.md for the rules, pragma syntax, and baseline
+workflow.
+"""
+
+from repro.lint.analyzer import analyze_source
+from repro.lint.baseline import (
+    BASELINE_NAME,
+    apply_baseline,
+    discover_baseline,
+    load_baseline,
+    parse_baseline,
+    render_baseline,
+)
+from repro.lint.pragmas import ModulePragmas, parse_pragmas
+from repro.lint.rules import RULES, Finding
+from repro.lint.runner import DEFAULT_ALLOWLIST, LintResult, lint_file, lint_paths
+from repro.lint.verify import BSPDisciplineError, VerifiedMachine
+
+__all__ = [
+    "analyze_source",
+    "apply_baseline",
+    "discover_baseline",
+    "load_baseline",
+    "parse_baseline",
+    "render_baseline",
+    "parse_pragmas",
+    "ModulePragmas",
+    "Finding",
+    "RULES",
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "DEFAULT_ALLOWLIST",
+    "BASELINE_NAME",
+    "BSPDisciplineError",
+    "VerifiedMachine",
+]

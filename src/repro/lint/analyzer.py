@@ -1,0 +1,245 @@
+"""AST cost-leak detector.
+
+Walks one module and reports every operation that computes or moves data
+without charging the simulated machine:
+
+* ``REPRO001`` — dense-math ops (``@``, ``np.dot``, ``np.outer``, ``.dot``,
+  ``np.einsum``, ...) anywhere outside :mod:`repro.bsp.kernels`;
+* ``REPRO002`` — direct ``numpy.linalg`` / ``scipy.linalg`` calls;
+* ``REPRO003`` — ``.copy()`` of a rank-owned ``.data`` buffer inside a
+  function that performs no communication/traffic charge;
+* ``REPRO004`` — a ``p2p`` send/recv pair with no ``superstep`` barrier in
+  the same function.
+
+The analyzer is purely syntactic (no imports are executed); pragma and
+baseline filtering happen in :mod:`repro.lint.runner`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import Finding, make_finding
+
+#: numpy top-level functions that perform O(size)+ dense arithmetic
+FLOP_FUNCS = frozenset(
+    {"dot", "matmul", "vdot", "inner", "outer", "einsum", "tensordot", "kron", "cross"}
+)
+
+#: calls that charge the machine — their presence marks a function as
+#: "charging" for the REPRO003 heuristic
+CHARGE_CALLS = frozenset(
+    {
+        "charge_comm",
+        "charge_flops",
+        "superstep",
+        "mem_stream",
+        "mem_read",
+        "mem_write",
+        "charge_store",
+        "fetch_window",
+        "store_window",
+        "redistribute",
+        "replicate",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "reduce_scatter",
+        "allgather",
+        "gather",
+        "scatter",
+        "alltoall",
+        "p2p",
+    }
+)
+
+
+def _attr_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None if the base is not a plain name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _mentions_data_attr(node: ast.AST) -> bool:
+    """Does the expression dereference a ``.data`` attribute anywhere?"""
+    return any(isinstance(sub, ast.Attribute) and sub.attr == "data" for sub in ast.walk(node))
+
+
+class _Imports:
+    """Names under which numpy / scipy / their linalg submodules are visible."""
+
+    def __init__(self) -> None:
+        self.numpy: set[str] = set()
+        self.scipy: set[str] = set()
+        self.linalg_mods: set[str] = set()  # aliases of numpy.linalg / scipy.linalg
+        self.linalg_names: set[str] = set()  # names imported *from* those modules
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name, asname = alias.name, alias.asname or alias.name.split(".")[0]
+                    if name == "numpy":
+                        self.numpy.add(asname)
+                    elif name == "scipy":
+                        self.scipy.add(asname)
+                    elif name in ("numpy.linalg", "scipy.linalg") and alias.asname:
+                        self.linalg_mods.add(alias.asname)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module in ("numpy", "scipy"):
+                    for alias in node.names:
+                        if alias.name == "linalg":
+                            self.linalg_mods.add(alias.asname or "linalg")
+                elif node.module in ("numpy.linalg", "scipy.linalg"):
+                    for alias in node.names:
+                        self.linalg_names.add(alias.asname or alias.name)
+
+
+class _Scope:
+    """Per-function facts needed by the REPRO003/REPRO004 heuristics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.data_copies: list[ast.Call] = []
+        self.p2p_calls: list[ast.Call] = []
+        self.charges = False
+        self.has_superstep = False
+
+
+class CostLeakVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, imports: _Imports) -> None:
+        self.path = path
+        self.imports = imports
+        self.findings: list[Finding] = []
+        self._flagged: set[int] = set()  # id(node) de-duplication
+        self.scopes: list[_Scope] = [_Scope("<module>")]
+
+    # -------------------------------------------------------------- #
+
+    def _emit(self, node: ast.AST, rule: str, detail: str) -> None:
+        if id(node) in self._flagged:
+            return
+        self._flagged.add(id(node))
+        self.findings.append(
+            make_finding(self.path, getattr(node, "lineno", 1), getattr(node, "col_offset", 0), rule, detail)
+        )
+
+    # -------------------------------------------------------------- #
+    # scopes
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.scopes.append(_Scope(node.name))
+        self.generic_visit(node)
+        scope = self.scopes.pop()
+        if scope.data_copies and not scope.charges:
+            for call in scope.data_copies:
+                self._emit(
+                    call,
+                    "REPRO003",
+                    f"'.data' buffer copied in {scope.name}() which performs no "
+                    "communication or traffic charge",
+                )
+        if scope.p2p_calls and not scope.has_superstep:
+            for call in scope.p2p_calls:
+                self._emit(
+                    call,
+                    "REPRO004",
+                    f"p2p() in {scope.name}() is never closed by a superstep barrier",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -------------------------------------------------------------- #
+    # dense-math operators
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.MatMult):
+            self._emit(node, "REPRO001", "matrix-multiply operator '@' outside repro.bsp.kernels")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, ast.MatMult):
+            self._emit(node, "REPRO001", "in-place '@=' outside repro.bsp.kernels")
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- #
+    # calls
+
+    def visit_Call(self, node: ast.Call) -> None:
+        scope = self.scopes[-1]
+        func = node.func
+        chain = _attr_chain(func)
+        callee = chain[-1] if chain else (func.attr if isinstance(func, ast.Attribute) else None)
+        if callee in CHARGE_CALLS:
+            scope.charges = True
+            if callee == "superstep":
+                scope.has_superstep = True
+            if callee == "p2p":
+                scope.p2p_calls.append(node)
+        self._check_numpy_call(node, func, chain)
+        if callee == "copy" and isinstance(func, ast.Attribute) and _mentions_data_attr(func.value):
+            scope.data_copies.append(node)
+        self.generic_visit(node)
+
+    def _check_numpy_call(self, node: ast.Call, func: ast.AST, chain: list[str] | None) -> None:
+        imp = self.imports
+        if chain:
+            head, rest = chain[0], chain[1:]
+            if head in imp.numpy and rest and rest[0] == "linalg":
+                if len(rest) > 1:
+                    self._emit(node, "REPRO002", f"direct {'.'.join(chain)}() call bypasses cost accounting")
+                return
+            if head in imp.scipy and rest and rest[0] == "linalg":
+                if len(rest) > 1:
+                    self._emit(node, "REPRO002", f"direct {'.'.join(chain)}() call bypasses cost accounting")
+                return
+            if head in imp.linalg_mods and len(rest) == 1:
+                self._emit(node, "REPRO002", f"direct {'.'.join(chain)}() call bypasses cost accounting")
+                return
+            if head in imp.numpy and len(rest) == 1 and rest[0] in FLOP_FUNCS:
+                self._emit(node, "REPRO001", f"{'.'.join(chain)}() outside repro.bsp.kernels")
+                return
+            if len(chain) == 1 and chain[0] in imp.linalg_names:
+                self._emit(node, "REPRO002", f"direct {chain[0]}() (imported from numpy/scipy linalg) bypasses cost accounting")
+                return
+        if isinstance(func, ast.Attribute) and func.attr == "dot" and not isinstance(func.value, ast.Name | ast.Attribute):
+            # e.g. (a.T).dot(b) — base is an expression; plain name/attr bases
+            # were already classified above
+            self._emit(node, "REPRO001", "ndarray .dot() outside repro.bsp.kernels")
+        elif isinstance(func, ast.Attribute) and func.attr == "dot" and chain is not None:
+            head = chain[0]
+            if head not in imp.numpy and head not in imp.scipy and head not in imp.linalg_mods:
+                self._emit(node, "REPRO001", "ndarray .dot() outside repro.bsp.kernels")
+
+
+def analyze_source(source: str, path: str) -> list[Finding]:
+    """Analyze one module's source; returns raw findings (pragmas not applied)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [make_finding(path, exc.lineno or 1, exc.offset or 0, "REPRO000", f"parse-error: {exc.msg}")]
+    imports = _Imports()
+    imports.collect(tree)
+    visitor = CostLeakVisitor(path, imports)
+    visitor.visit(tree)
+    # module-level (outside any def) REPRO003/REPRO004
+    module_scope = visitor.scopes[0]
+    if module_scope.data_copies and not module_scope.charges:
+        for call in module_scope.data_copies:
+            visitor._emit(call, "REPRO003", "'.data' buffer copied at module level with no charge")
+    if module_scope.p2p_calls and not module_scope.has_superstep:
+        for call in module_scope.p2p_calls:
+            visitor._emit(call, "REPRO004", "module-level p2p() never closed by a superstep barrier")
+    # nested '@' chains produce one BinOp per operator, often at the same
+    # line:col — collapse identical diagnostics
+    return sorted(set(visitor.findings))

@@ -1,0 +1,92 @@
+"""Checked-in lint baseline.
+
+The baseline records *accepted* findings as ``path rule count`` triples so
+intentional, documented exceptions (e.g. the cost-free test-matrix
+generators) do not fail the build, while any **new** finding in the same
+file does.  Counts, not line numbers, are stored so unrelated edits do not
+churn the file.
+
+Workflow::
+
+    repro lint                          # fails on findings not in baseline
+    repro lint --write-baseline         # accept current findings (review the diff!)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.rules import Finding
+
+BASELINE_NAME = "lint_baseline.txt"
+
+_HEADER = """\
+# repro lint baseline — accepted findings as "<path> <rule> <count>".
+# Regenerate with `repro lint --write-baseline`; new findings beyond these
+# counts fail the build.  See docs/static_analysis.md.
+"""
+
+
+def parse_baseline(text: str) -> dict[tuple[str, str], int]:
+    """Parse baseline text into ``{(path, rule): allowed_count}``."""
+    allowed: dict[tuple[str, str], int] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"baseline line {lineno}: expected '<path> <rule> <count>', got {raw!r}")
+        path, rule, count = parts
+        try:
+            allowed[(path, rule)] = allowed.get((path, rule), 0) + int(count)
+        except ValueError as exc:
+            raise ValueError(f"baseline line {lineno}: bad count {count!r}") from exc
+    return allowed
+
+
+def load_baseline(path: Path | None) -> dict[tuple[str, str], int]:
+    if path is None or not path.is_file():
+        return {}
+    return parse_baseline(path.read_text())
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    """Serialize current findings as baseline text."""
+    counts = Counter((f.path, f.rule) for f in findings)
+    lines = [f"{path} {rule} {count}" for (path, rule), count in sorted(counts.items())]
+    return _HEADER + "\n".join(lines) + ("\n" if lines else "")
+
+
+def apply_baseline(
+    findings: list[Finding], allowed: dict[tuple[str, str], int]
+) -> tuple[list[Finding], int]:
+    """Split findings into (reported, n_suppressed).
+
+    A (path, rule) group is suppressed entirely while its size stays within
+    the baselined count; if the group *grows*, every finding in it is
+    reported (the offending new line cannot be identified by count alone).
+    """
+    groups = Counter((f.path, f.rule) for f in findings)
+    reported: list[Finding] = []
+    suppressed = 0
+    for f in findings:
+        quota = allowed.get((f.path, f.rule), 0)
+        if groups[(f.path, f.rule)] <= quota:
+            suppressed += 1
+        else:
+            reported.append(f)
+    return reported, suppressed
+
+
+def discover_baseline(start: Path) -> Path | None:
+    """Walk up from ``start`` looking for the checked-in baseline file."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for parent in (node, *node.parents):
+        candidate = parent / BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None

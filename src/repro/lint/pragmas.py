@@ -1,0 +1,76 @@
+"""``# cost:`` pragma parsing.
+
+Two forms are recognised, both requiring a written reason:
+
+* ``# cost: free(<reason>)`` — trailing (or own-line) comment; suppresses
+  findings on any line the annotated statement spans;
+* ``# cost: free-module(<reason>)`` — a whole-module waiver, used by the
+  sequential-numerics layer (``repro/linalg``) whose flops are charged by
+  its :mod:`repro.bsp.kernels` callers.
+
+A ``# cost:`` comment that matches neither form, or has an empty reason,
+is itself reported (rule REPRO005) so typos cannot silently disable the
+linter.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+# the reason may itself contain parentheses — match greedily to the last ')'
+_PRAGMA_RE = re.compile(r"#\s*cost:\s*(?P<kind>free-module|free)\s*\(\s*(?P<reason>.*)\)\s*$")
+_PREFIX_RE = re.compile(r"#\s*cost:")
+
+
+@dataclass
+class ModulePragmas:
+    """All cost pragmas of one module."""
+
+    #: line number -> reason, for ``# cost: free(...)``
+    free_lines: dict[int, str] = field(default_factory=dict)
+    #: reason of a ``# cost: free-module(...)`` waiver, if any
+    module_reason: str | None = None
+    #: (line, col, detail) for malformed ``# cost:`` comments
+    bad: list[tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def module_free(self) -> bool:
+        return self.module_reason is not None
+
+    def suppresses(self, first_line: int, last_line: int | None = None) -> bool:
+        """Is a finding spanning [first_line, last_line] waived by a pragma?"""
+        if self.module_free:
+            return True
+        last_line = first_line if last_line is None else last_line
+        return any(ln in self.free_lines for ln in range(first_line, last_line + 1))
+
+
+def parse_pragmas(source: str) -> ModulePragmas:
+    """Extract cost pragmas from ``source`` (tokenize-based, so strings
+    containing ``# cost:`` are never misread as pragmas)."""
+    out = ModulePragmas()
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out  # the analyzer reports the parse failure
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or not _PREFIX_RE.search(tok.string):
+            continue
+        line, col = tok.start
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            out.bad.append((line, col, f"unrecognised cost pragma {tok.string.strip()!r}"))
+            continue
+        reason = match.group("reason").strip()
+        if not reason:
+            out.bad.append((line, col, "cost pragma requires a written reason, e.g. # cost: free(verification only)"))
+            continue
+        if match.group("kind") == "free-module":
+            out.module_reason = reason
+        else:
+            out.free_lines[line] = reason
+    return out

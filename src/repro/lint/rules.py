@@ -1,0 +1,58 @@
+"""Lint rule registry and the :class:`Finding` record.
+
+The rules encode the repo's cost-accounting discipline (DESIGN.md): every
+local flop is charged through :mod:`repro.bsp.kernels` (or an explicit
+``machine.charge_flops``) and every word moved between ranks through
+:mod:`repro.bsp.collectives` / the dist layer.  Code that performs dense
+math or data motion outside those channels silently under-counts the
+measured (F, W, Q, S) and must either be re-routed or carry a
+``# cost: free(<reason>)`` pragma / baseline entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: rule id -> one-line description (kept in sync with docs/static_analysis.md)
+RULES: dict[str, str] = {
+    "REPRO000": "parse-error: file could not be parsed",
+    "REPRO001": (
+        "uncounted-flops: dense-math operation (matmul/@, dot, outer, einsum, ...) "
+        "outside repro.bsp.kernels charges no F/Q"
+    ),
+    "REPRO002": (
+        "uncounted-linalg: direct numpy.linalg / scipy.linalg call bypasses "
+        "cost accounting (route through bsp.kernels or util.validation)"
+    ),
+    "REPRO003": (
+        "uncounted-copy: rank-owned buffer (.data) copied in a function that "
+        "performs no communication charge"
+    ),
+    "REPRO004": (
+        "missing-barrier: p2p send/recv pair not closed by a superstep barrier "
+        "in the enclosing function"
+    ),
+    "REPRO005": "bad-pragma: '# cost:' pragma is malformed or missing a reason",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic, addressable as ``path:line:col``."""
+
+    path: str  # posix path relative to the lint root
+    line: int  # 1-based
+    col: int  # 0-based, as in ast
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def make_finding(path: str, line: int, col: int, rule: str, detail: str = "") -> Finding:
+    """Build a finding with the rule's canonical message plus optional detail."""
+    if rule not in RULES:
+        raise KeyError(f"unknown lint rule {rule!r}")
+    message = RULES[rule] if not detail else f"{RULES[rule].split(':', 1)[0]}: {detail}"
+    return Finding(path=path, line=line, col=col, rule=rule, message=message)

@@ -1,0 +1,178 @@
+"""Lint driver: file discovery, pragma filtering, baseline, reporting.
+
+Public entry points:
+
+* :func:`lint_paths` — library API, returns a :class:`LintResult`;
+* :func:`main` — what ``repro lint`` dispatches to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.analyzer import analyze_source
+from repro.lint.baseline import (
+    BASELINE_NAME,
+    apply_baseline,
+    discover_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.lint.pragmas import parse_pragmas
+from repro.lint.rules import Finding, make_finding
+
+#: charging / verification layers the rules explicitly exempt (path suffixes
+#: or directory fragments, posix-style, relative to the lint root)
+DEFAULT_ALLOWLIST: tuple[str, ...] = (
+    "repro/bsp/kernels.py",  # THE charged-compute layer
+    "repro/util/validation.py",  # cost-free verification oracles
+    "repro/lint/",  # the linter itself (fixtures in docstrings etc.)
+)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    pragma_suppressed: int = 0
+    baseline_suppressed: int = 0
+    baseline_path: Path | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def report(self) -> str:
+        lines = [f.format() for f in self.findings]
+        tail = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s) "
+            f"({self.pragma_suppressed} pragma-waived, {self.baseline_suppressed} baselined)"
+        )
+        return "\n".join(lines + [tail])
+
+
+def _is_allowlisted(rel: str, allowlist: tuple[str, ...]) -> bool:
+    return any(rel.endswith(entry) or f"/{entry}" in f"/{rel}" for entry in allowlist)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such python file or directory: {path}")
+    return files
+
+
+def lint_file(path: Path, rel: str) -> tuple[list[Finding], int]:
+    """Lint one file; returns (findings, pragma_suppressed_count)."""
+    source = path.read_text()
+    pragmas = parse_pragmas(source)
+    raw = analyze_source(source, rel)
+    kept: list[Finding] = []
+    suppressed = 0
+    for f in raw:
+        if f.rule != "REPRO000" and pragmas.suppresses(f.line):
+            suppressed += 1
+        else:
+            kept.append(f)
+    for line, col, detail in pragmas.bad:
+        kept.append(make_finding(rel, line, col, "REPRO005", detail))
+    return sorted(kept), suppressed
+
+
+def lint_paths(
+    paths: list[Path],
+    root: Path | None = None,
+    baseline: Path | None = None,
+    use_baseline: bool = True,
+    allowlist: tuple[str, ...] = DEFAULT_ALLOWLIST,
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths``.
+
+    ``root`` anchors the relative paths used in diagnostics and the
+    baseline (default: the directory holding the discovered baseline, else
+    the current directory).  ``baseline=None`` auto-discovers
+    ``lint_baseline.txt`` upward from the first path.
+    """
+    if not paths:
+        raise ValueError("lint_paths requires at least one path")
+    if use_baseline and baseline is None:
+        baseline = discover_baseline(paths[0])
+    if root is None:
+        root = baseline.parent if baseline is not None else Path.cwd()
+    result = LintResult(baseline_path=baseline if use_baseline else None)
+    all_findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        try:
+            rel = file.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        if _is_allowlisted(rel, allowlist):
+            continue
+        findings, pragma_suppressed = lint_file(file, rel)
+        result.files_checked += 1
+        result.pragma_suppressed += pragma_suppressed
+        all_findings.extend(findings)
+    if use_baseline:
+        reported, baselined = apply_baseline(sorted(all_findings), load_baseline(baseline))
+        result.findings = reported
+        result.baseline_suppressed = baselined
+    else:
+        result.findings = sorted(all_findings)
+    return result
+
+
+def default_lint_paths() -> list[Path]:
+    """The installed ``repro`` package source tree."""
+    import repro
+
+    return [Path(repro.__file__).resolve().parent]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="static cost-accounting lint for the repro source tree",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files/directories to lint (default: the repro package)")
+    parser.add_argument("--baseline", type=Path, default=None, help=f"baseline file (default: discover {BASELINE_NAME})")
+    parser.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true", help="accept current findings into the baseline")
+    parser.add_argument("--no-default-allowlist", action="store_true", help="also lint the charging/verification layers")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(argv: list[str] | None) -> int:
+    args = build_parser().parse_args(argv)
+    paths = args.paths or default_lint_paths()
+    allowlist = () if args.no_default_allowlist else DEFAULT_ALLOWLIST
+    if args.write_baseline:
+        target = args.baseline or discover_baseline(paths[0]) or Path.cwd() / BASELINE_NAME
+        result = lint_paths(
+            paths, root=target.parent, baseline=None, use_baseline=False, allowlist=allowlist
+        )
+        target.write_text(render_baseline(result.findings))
+        print(f"wrote {len(result.findings)} finding(s) to {target}")
+        return 0
+    result = lint_paths(
+        paths, baseline=args.baseline, use_baseline=not args.no_baseline, allowlist=allowlist
+    )
+    print(result.report())
+    return 0 if result.ok else 1

@@ -29,6 +29,25 @@ def synchronization_tradeoff_lower_bound(n: int, words: float) -> float:
     return n * n / words
 
 
+def memory_bound_words(n: int, p: int, delta: float, slack: float = 8.0) -> float:
+    """Per-rank peak-memory budget for Theorem IV.4: slack·(n²/p^{2(1−δ)} + n + p).
+
+    The leading term is the replication footprint M = n²/p^{2(1−δ)} = c·n²/p
+    the theorem allows; the additive ``n + p`` headroom covers lower-order
+    storage the implementation genuinely needs (per-column reflector
+    vectors, the gathered n·(b+1)-word band with b = n/p at the sequential
+    finish).  ``slack`` absorbs the implementation's constants; the dynamic
+    verifier (:class:`repro.lint.VerifiedMachine`) enforces the result as a
+    hard per-rank cap.
+    """
+    if not 0.5 <= delta <= 1.0:
+        raise ValueError(f"delta must be in [1/2, 1], got {delta}")
+    if slack <= 0:
+        raise ValueError("slack must be positive")
+    leading = n * n / p ** (2.0 * (1.0 - delta))
+    return slack * (leading + n + p)
+
+
 def attains_memory_bound(n: int, p: int, delta: float, slack: float = 4.0) -> bool:
     """Does W = n²/p^δ attain Ω(n³/(p√M)) with M = n²/p^{2(1−δ)}?
 

@@ -1,11 +1,27 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Set ``REPRO_VERIFY=1`` to run every machine-fixture-based test on a
+:class:`repro.lint.VerifiedMachine`, which asserts the BSP discipline
+invariants (conservation, monotone counters) at every superstep.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.bsp import BSPMachine
+from repro.lint.verify import VerifiedMachine
+
+VERIFY = os.environ.get("REPRO_VERIFY", "") not in ("", "0")
+
+
+def make_machine(p: int, **kwargs) -> BSPMachine:
+    """Machine factory honouring the ``REPRO_VERIFY`` switch."""
+    cls = VerifiedMachine if VERIFY else BSPMachine
+    return cls(p, **kwargs)
 
 
 @pytest.fixture
@@ -15,15 +31,20 @@ def rng():
 
 @pytest.fixture
 def machine4():
-    return BSPMachine(4)
+    return make_machine(4)
 
 
 @pytest.fixture
 def machine8():
-    return BSPMachine(8)
+    return make_machine(8)
 
 
 @pytest.fixture
 def machine16():
-    return BSPMachine(16)
+    return make_machine(16)
 
+
+@pytest.fixture
+def bsp_machine_factory():
+    """Factory fixture: ``bsp_machine_factory(p)`` -> (possibly verified) machine."""
+    return make_machine

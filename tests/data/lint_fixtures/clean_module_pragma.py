@@ -1,0 +1,8 @@
+"""Fixture: a module-level waiver covers every finding in the file."""
+# cost: free-module(sequential numerics fixture; charged by hypothetical callers)
+
+import numpy as np
+
+
+def anything(a, b):
+    return a @ np.dot(a, b)

@@ -1,0 +1,8 @@
+"""Fixture: per-line cost pragmas waive findings (must lint clean)."""
+
+import numpy as np
+
+
+def justified(a, b):
+    c = a @ b  # cost: free(model-only product; flops charged by the caller)
+    return np.dot(c, c)  # cost: free(verification cross-check, never charged)

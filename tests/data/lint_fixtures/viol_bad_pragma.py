@@ -1,0 +1,10 @@
+"""Fixture: malformed pragmas are findings themselves (REPRO005) and do
+not waive the operation they annotate."""
+
+import numpy as np
+
+
+def bad(a, b):
+    c = a @ b  # cost: free()
+    d = np.dot(a, b)  # cost: gratis(wrong keyword)
+    return c + d

@@ -1,0 +1,20 @@
+"""Fixture: uncounted rank-owned buffer copy (REPRO003).
+
+``leak_window`` copies the distributed container's ``.data`` without any
+communication charge; ``charged_window`` does the same copy but books the
+transfer, so only the former is flagged.
+"""
+
+
+class FakeDist:
+    def __init__(self, data):
+        self.data = data
+
+    def leak_window(self, rows):
+        return self.data[rows].copy()  # MARK:uncounted-copy
+
+    def charged_window(self, machine, group, rows):
+        window = self.data[rows].copy()
+        machine.charge_comm(sends={0: 1.0}, recvs={1: 1.0})
+        machine.superstep(group, 1)
+        return window

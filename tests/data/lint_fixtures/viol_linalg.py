@@ -1,0 +1,10 @@
+"""Fixture: direct linalg calls that must be flagged (REPRO002)."""
+
+import numpy as np
+from numpy.linalg import svd
+
+
+def leaky_reference(a):
+    evals = np.linalg.eigvalsh(a)  # MARK:eigvalsh
+    u, s, vt = svd(a)  # MARK:from-import
+    return evals, s

@@ -1,0 +1,9 @@
+"""Fixture: raw dense math that must be flagged (REPRO001)."""
+
+import numpy as np
+
+
+def leaky_product(a, b):
+    c = a @ b  # MARK:matmul-op
+    d = np.dot(a, b)  # MARK:np-dot
+    return c + d

@@ -1,0 +1,12 @@
+"""Fixture: p2p send/recv pair with no superstep barrier (REPRO004)."""
+
+from repro.bsp import collectives
+
+
+def leaky_exchange(machine):
+    collectives.p2p(machine, 0, 1, 8.0)  # MARK:unbarriered-p2p
+
+
+def barriered_exchange(machine):
+    collectives.p2p(machine, 0, 1, 8.0)
+    machine.superstep(machine.world, 1)

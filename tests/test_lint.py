@@ -1,0 +1,204 @@
+"""Tests for the static cost-accounting linter (``repro lint``).
+
+The fixture corpus lives in ``tests/data/lint_fixtures/``; each expected
+diagnostic line is tagged in the fixture source with a ``# MARK:<tag>``
+comment so the assertions stay exact without hard-coding line numbers.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.lint import (
+    BASELINE_NAME,
+    analyze_source,
+    apply_baseline,
+    lint_file,
+    lint_paths,
+    parse_pragmas,
+)
+from repro.lint.baseline import discover_baseline, parse_baseline, render_baseline
+from repro.lint.rules import RULES, make_finding
+from repro.lint.runner import main as lint_main
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def marks(name: str) -> dict[str, int]:
+    """Map ``# MARK:<tag>`` comments in a fixture to their line numbers."""
+    out: dict[str, int] = {}
+    for lineno, text in enumerate((FIXTURES / name).read_text().splitlines(), start=1):
+        if "# MARK:" in text:
+            out[text.split("# MARK:")[1].strip()] = lineno
+    return out
+
+
+def diag(name: str) -> tuple[set[tuple[str, int]], int]:
+    """Lint one fixture; returns ({(rule, line)}, pragma_suppressed)."""
+    findings, suppressed = lint_file(FIXTURES / name, name)
+    return {(f.rule, f.line) for f in findings}, suppressed
+
+
+class TestAnalyzerFixtures:
+    def test_matmul_operator_and_np_dot_flagged(self):
+        m = marks("viol_matmul.py")
+        found, _ = diag("viol_matmul.py")
+        assert found == {("REPRO001", m["matmul-op"]), ("REPRO001", m["np-dot"])}
+
+    def test_linalg_calls_flagged(self):
+        m = marks("viol_linalg.py")
+        found, _ = diag("viol_linalg.py")
+        assert found == {("REPRO002", m["eigvalsh"]), ("REPRO002", m["from-import"])}
+
+    def test_uncounted_data_copy_flagged_charged_one_is_not(self):
+        m = marks("viol_copy.py")
+        found, _ = diag("viol_copy.py")
+        assert found == {("REPRO003", m["uncounted-copy"])}
+
+    def test_p2p_without_superstep_flagged(self):
+        m = marks("viol_p2p.py")
+        found, _ = diag("viol_p2p.py")
+        assert found == {("REPRO004", m["unbarriered-p2p"])}
+
+    def test_line_pragmas_waive(self):
+        found, suppressed = diag("clean_pragma.py")
+        assert found == set()
+        assert suppressed == 2
+
+    def test_module_pragma_waives_whole_file(self):
+        found, suppressed = diag("clean_module_pragma.py")
+        assert found == set()
+        assert suppressed == 2
+
+    def test_bad_pragmas_are_findings_and_do_not_waive(self):
+        found, suppressed = diag("viol_bad_pragma.py")
+        assert suppressed == 0
+        # line 8: empty reason; line 9: unknown keyword — each yields the
+        # REPRO005 plus the unwaived dense-math finding it failed to cover
+        assert found == {
+            ("REPRO005", 8),
+            ("REPRO001", 8),
+            ("REPRO005", 9),
+            ("REPRO001", 9),
+        }
+
+    def test_scalapack_cost_leak_regression(self):
+        """The pre-fix eig/scalapack_like.py trailing update must stay
+        detectable: matvec, np.dot correction, and both np.outer calls."""
+        m = marks("viol_scalapack_prefix.py")
+        findings, _ = lint_file(
+            FIXTURES / "viol_scalapack_prefix.py", "viol_scalapack_prefix.py"
+        )
+        assert all(f.rule == "REPRO001" for f in findings)
+        lines = sorted(f.line for f in findings)
+        assert lines == [m["leak-matvec"], m["leak-dot"], m["leak-outer"], m["leak-outer"]]
+
+    def test_parse_error_is_repro000(self):
+        findings = analyze_source("def broken(:\n    pass\n", "broken.py")
+        assert [f.rule for f in findings] == ["REPRO000"]
+
+    def test_finding_format_is_clickable(self):
+        f = make_finding("pkg/mod.py", 12, 4, "REPRO001", "detail text")
+        assert f.format() == "pkg/mod.py:12:4: REPRO001 uncounted-flops: detail text"
+
+    def test_every_rule_has_a_description(self):
+        assert set(RULES) >= {f"REPRO00{i}" for i in range(6)}
+        assert all(RULES[r] for r in RULES)
+
+
+class TestPragmas:
+    def test_reason_may_contain_parentheses(self):
+        src = "x = 1  # cost: free(see Theorem IV.4 (and docs/extending.md))\n"
+        pragmas = parse_pragmas(src)
+        assert pragmas.bad == []
+        assert pragmas.free_lines[1] == "see Theorem IV.4 (and docs/extending.md)"
+
+    def test_pragma_inside_string_is_ignored(self):
+        src = 's = "# cost: free(not a pragma)"\n'
+        pragmas = parse_pragmas(src)
+        assert pragmas.free_lines == {} and pragmas.bad == []
+
+    def test_module_pragma_suppresses_any_line(self):
+        pragmas = parse_pragmas("# cost: free-module(fixture reason)\n")
+        assert pragmas.module_free
+        assert pragmas.suppresses(999)
+
+
+class TestBaseline:
+    def test_parse_render_round_trip(self):
+        findings = [
+            make_finding("a.py", 3, 0, "REPRO001", "x"),
+            make_finding("a.py", 9, 0, "REPRO001", "y"),
+            make_finding("b.py", 1, 0, "REPRO002", "z"),
+        ]
+        allowed = parse_baseline(render_baseline(findings))
+        assert allowed == {("a.py", "REPRO001"): 2, ("b.py", "REPRO002"): 1}
+
+    def test_malformed_baseline_line_raises(self):
+        with pytest.raises(ValueError, match="expected"):
+            parse_baseline("a.py REPRO001\n")
+        with pytest.raises(ValueError, match="bad count"):
+            parse_baseline("a.py REPRO001 many\n")
+
+    def test_within_quota_suppresses_group(self):
+        findings = [make_finding("a.py", i, 0, "REPRO001", "x") for i in (1, 2)]
+        reported, suppressed = apply_baseline(findings, {("a.py", "REPRO001"): 2})
+        assert reported == [] and suppressed == 2
+
+    def test_group_growth_reports_every_finding(self):
+        findings = [make_finding("a.py", i, 0, "REPRO001", "x") for i in (1, 2, 3)]
+        reported, suppressed = apply_baseline(findings, {("a.py", "REPRO001"): 2})
+        assert len(reported) == 3 and suppressed == 0
+
+    def test_discover_walks_up_to_repo_baseline(self):
+        assert discover_baseline(FIXTURES) == REPO_ROOT / BASELINE_NAME
+
+
+class TestTree:
+    def test_shipped_tree_lints_clean_against_baseline(self):
+        result = lint_paths([SRC_REPRO])
+        assert result.baseline_path == REPO_ROOT / BASELINE_NAME
+        assert result.ok, result.report()
+
+    def test_baseline_entries_are_live(self):
+        """Without the baseline the tree reports exactly the baselined
+        findings — the baseline has no stale (already-fixed) entries."""
+        result = lint_paths([SRC_REPRO], use_baseline=False)
+        from collections import Counter
+
+        counts = Counter((f.path, f.rule) for f in result.findings)
+        baseline = parse_baseline((REPO_ROOT / BASELINE_NAME).read_text())
+        assert dict(counts) == baseline
+
+    def test_fixture_corpus_is_dirty_without_baseline(self):
+        result = lint_paths([FIXTURES], use_baseline=False)
+        assert not result.ok
+        rules = {f.rule for f in result.findings}
+        assert rules == {"REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"}
+
+
+class TestCLI:
+    def test_repro_lint_exits_zero_on_shipped_tree(self, capsys):
+        assert cli.main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_repro_lint_exits_nonzero_on_seeded_violation(self, capsys):
+        assert cli.main(["lint", str(FIXTURES / "viol_matmul.py"), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO001" in out and "viol_matmul.py" in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        work = tmp_path / "pkg"
+        work.mkdir()
+        shutil.copy(FIXTURES / "viol_matmul.py", work / "leaky.py")
+        baseline = tmp_path / BASELINE_NAME
+        assert lint_main([str(work), "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert parse_baseline(baseline.read_text()) == {("pkg/leaky.py", "REPRO001"): 2}
+        assert lint_main([str(work), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
