@@ -1,0 +1,48 @@
+"""Accounting-engine wall-clock benchmark (the ``repro bench`` micro-suite).
+
+Unlike the other benchmarks, this one measures the *simulator itself*: the
+vectorized ``array`` counter store versus the pre-vectorization ``scalar``
+oracle on the pinned micro-suite from :mod:`repro.bench`.  It asserts the
+two invariants the vectorization PR rests on:
+
+* **oracle identity** — both engines produce bit-identical per-rank cost
+  reports on every case (enforced inside :func:`repro.bench.run_suite`);
+* **speedup floor** — the vectorized engine is at least 3× faster than the
+  scalar oracle on machine-level charging at p ≥ 256.
+
+Results go to ``benchmarks/results/BENCH_engine.json`` (the same document
+``repro bench`` writes) plus a rendered table alongside the other
+benchmark outputs.
+"""
+
+import json
+
+from repro import bench
+
+from _common import RESULTS_DIR, run_once, write_result
+
+
+def test_engine(benchmark):
+    results = run_once(benchmark, lambda: bench.run_suite(repeats=3, log=lambda _msg: None))
+    write_result("engine", bench.render_results(results))
+    bench.write_results(results, RESULTS_DIR / "BENCH_engine.json")
+
+    charging = results["cases"]["charging_p512"]
+    eig = results["cases"]["eig_n96_p16"]
+    benchmark.extra_info["charging_speedup"] = charging["speedup_vs_scalar"]
+    benchmark.extra_info["charging_rank_charges_per_s"] = charging["rank_charges_per_s"]
+    benchmark.extra_info["eig_speedup"] = eig["speedup_vs_scalar"]
+
+    # The vectorized engine must hold its speedup floor over the scalar
+    # oracle on pure charging work at p = 512.
+    assert charging["speedup_vs_scalar"] >= bench.SPEEDUP_FLOOR, (
+        f"charging speedup {charging['speedup_vs_scalar']:.2f}x fell below "
+        f"the {bench.SPEEDUP_FLOOR:.0f}x floor"
+    )
+    # The full eig pipeline (numerics-dominated) must at minimum not get
+    # slower from the vectorized accounting.
+    assert eig["speedup_vs_scalar"] > 0.9
+
+    # The JSON document round-trips and self-checks against itself.
+    doc = json.loads((RESULTS_DIR / "BENCH_engine.json").read_text())
+    assert bench.check_against_baseline(doc, doc) == []

@@ -1,0 +1,353 @@
+"""Wall-clock benchmark harness for the accounting engine (``repro bench``).
+
+The repo's other benchmarks measure *simulated* BSP cost; this one measures
+the **simulator itself** — how fast the accounting engine charges costs —
+because simulator wall-clock, not numpy, is what caps the (n, p) any
+experiment can reach.
+
+``repro bench`` runs a pinned micro-suite on both accounting engines:
+
+* ``charging_p512`` — machine-level charging throughput: a fixed loop of
+  group charges, batched charges, collectives, streaming traffic and
+  memory notes on a p=512 machine (no numerics — pure accounting);
+* ``eig_n96_p16`` — one full-pipeline :func:`repro.eig.eigensolve_2p5d`
+  run at pinned (n, p, δ, seed).
+
+Every case runs on the vectorized ``array`` engine (timed, median of
+``--repeats``) and on the pre-vectorization ``scalar`` oracle; their
+:class:`~repro.bsp.counters.CostReport`\\ s must be **bit-identical** (per
+rank, not just in aggregate) or the run fails.  Results go to
+``benchmarks/results/BENCH_engine.json``:
+
+``wall_s``               median wall-clock of the vectorized engine
+``scalar_wall_s``        median wall-clock of the scalar oracle
+``speedup_vs_scalar``    scalar / array wall ratio
+``rank_charges``         per-rank counter updates performed by the case
+``rank_charges_per_s``   throughput of the vectorized engine
+``cost``                 simulated F / W / Q / S / M (+ totals)
+
+``repro bench --check BENCH_engine.json`` re-runs the suite and fails on
+
+* any simulated-cost drift versus the committed baseline (exact float
+  equality — the cost model is deterministic, so any drift is a real
+  accounting change that must be recommitted deliberately);
+* a >25% wall-clock regression, after rescaling the committed wall numbers
+  by the scalar oracle's wall ratio on this host (the oracle acts as the
+  hardware calibrator, so the gate is portable across machines); tolerance
+  is overridable with ``REPRO_BENCH_WALL_TOL``;
+* charging-suite speedup below the 3× floor the vectorized engine must
+  maintain over the scalar oracle at p ≥ 256.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.bsp import BSPMachine, collectives
+from repro.bsp.counters import CostReport, CounterArray
+
+#: default location of the fresh results JSON (relative to the cwd)
+DEFAULT_RESULT_PATH = Path("benchmarks") / "results" / "BENCH_engine.json"
+
+#: committed baseline filename at the repo root
+BASELINE_NAME = "BENCH_engine.json"
+
+#: pinned micro-suite inputs; changing any of these invalidates a baseline
+PINNED: dict[str, dict[str, Any]] = {
+    "charging": {"p": 512, "iters": 100},
+    "eig": {"n": 96, "p": 16, "delta": 2.0 / 3.0, "seed": 3},
+}
+
+#: >25% wall regression fails --check (env-overridable for noisy hosts)
+WALL_TOLERANCE = float(os.environ.get("REPRO_BENCH_WALL_TOL", "1.25"))
+
+#: minimum charging-suite speedup of array over scalar engine (p >= 256)
+SPEEDUP_FLOOR = 3.0
+
+#: absolute slack on the wall gate — sub-millisecond walls are dominated by
+#: timer granularity and scheduler noise, not engine performance
+WALL_ABS_SLACK_S = 0.005
+
+#: cost fields pinned by the baseline (aggregate; per-rank identity is
+#: asserted separately against the live scalar oracle on every run)
+COST_FIELDS = (
+    "flops",
+    "words",
+    "mem_traffic",
+    "supersteps",
+    "peak_memory_words",
+    "total_flops",
+    "total_words",
+    "total_mem_traffic",
+)
+
+_PER_RANK_FIELDS = (
+    "flops",
+    "words_sent",
+    "words_recv",
+    "mem_traffic",
+    "supersteps",
+    "peak_memory_words",
+)
+
+
+# ------------------------------------------------------------------ #
+# report comparison
+
+def per_rank_arrays(report: CostReport) -> dict[str, np.ndarray]:
+    """Per-rank counter arrays of a report, whichever engine produced it."""
+    pr = report.per_rank
+    if isinstance(pr, CounterArray):
+        return {name: pr.field_array(name) for name in _PER_RANK_FIELDS}
+    return {
+        name: np.array([getattr(c, name) for c in pr], dtype=np.float64)
+        for name in _PER_RANK_FIELDS
+    }
+
+
+def report_mismatches(a: CostReport, b: CostReport) -> list[str]:
+    """Ways two cost reports differ, bit-for-bit ([] means identical)."""
+    issues: list[str] = []
+    if a.p != b.p:
+        return [f"p differs: {a.p} != {b.p}"]
+    for name in COST_FIELDS:
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            issues.append(f"{name} differs: {va!r} != {vb!r}")
+    pa, pb = per_rank_arrays(a), per_rank_arrays(b)
+    for name in _PER_RANK_FIELDS:
+        if not np.array_equal(pa[name], pb[name]):
+            bad = int(np.argmax(pa[name] != pb[name]))
+            issues.append(
+                f"per-rank {name} differs first at rank {bad}: "
+                f"{pa[name][bad]!r} != {pb[name][bad]!r}"
+            )
+    return issues
+
+
+def cost_dict(report: CostReport) -> dict[str, float]:
+    """JSON-serializable aggregate cost of a report."""
+    out = {name: getattr(report, name) for name in COST_FIELDS}
+    out["p"] = report.p
+    return out
+
+
+# ------------------------------------------------------------------ #
+# the micro-suite
+
+def charging_workload(machine: BSPMachine, iters: int) -> CostReport:
+    """Machine-level charging loop: group, batched, and collective charges.
+
+    Touches every vectorized entry point — uniform and weighted flop
+    charges, uniform and matrix-valued comm charges, collectives over the
+    world and subgroups, streamed traffic, memory notes, supersteps — with
+    zero numpy numerics, so wall-clock is pure accounting overhead.
+    """
+    world = machine.world
+    p = machine.p
+    quads = world.split(4)
+    weights = np.linspace(1.0, 2.0, p)
+    g = quads[0].size
+    transfer = np.fromfunction(lambda i, j: (i + j + 1.0) % 7.0, (g, g))
+    for _ in range(iters):
+        machine.charge_flops(world, 10.0)
+        machine.charge_flops_batch(world, weights)
+        machine.charge_comm_batch(world, 4.0, 4.0)
+        collectives.allreduce(machine, world, 64.0)
+        for grp in quads:
+            collectives.bcast(machine, grp, 32.0)
+            machine.charge_flops(grp, 5.0)
+        machine.charge_comm_matrix(quads[0], transfer)
+        machine.mem_stream_group(world, 2.0)
+        machine.note_memory(world, 100.0)
+        machine.superstep(world)
+    return machine.cost()
+
+
+def _charging_rank_charges(p: int, iters: int) -> int:
+    """Per-rank counter updates performed by :func:`charging_workload`.
+
+    Per iteration: flops p + flops_batch p + comm 2p + allreduce 4p +
+    4×bcast 3(p/4)·4 + 4×flops (p/4)·4 + comm_matrix 2(p/4) +
+    stream p + note p + superstep p = 15.5p.
+    """
+    return int(iters * 15.5 * p)
+
+
+def run_charging(engine: str) -> tuple[CostReport, float]:
+    cfg = PINNED["charging"]
+    machine = BSPMachine(cfg["p"], engine=engine)
+    t0 = time.perf_counter()
+    report = charging_workload(machine, cfg["iters"])
+    wall = time.perf_counter() - t0
+    return report, wall
+
+
+def run_eig(engine: str) -> tuple[CostReport, float]:
+    from repro.eig import eigensolve_2p5d
+    from repro.util.matrices import random_symmetric
+
+    cfg = PINNED["eig"]
+    a = random_symmetric(cfg["n"], seed=cfg["seed"])
+    machine = BSPMachine(cfg["p"], engine=engine)
+    t0 = time.perf_counter()
+    eigensolve_2p5d(machine, a, delta=cfg["delta"])
+    wall = time.perf_counter() - t0
+    return machine.cost(), wall
+
+
+CASES: dict[str, Callable[[str], tuple[CostReport, float]]] = {
+    "charging_p512": run_charging,
+    "eig_n96_p16": run_eig,
+}
+
+
+# ------------------------------------------------------------------ #
+# suite driver
+
+class BenchError(RuntimeError):
+    """The benchmark suite failed (oracle mismatch or gate violation)."""
+
+
+def run_suite(repeats: int = 3, log: Callable[[str], None] = print) -> dict[str, Any]:
+    """Run every case on both engines; return the results document.
+
+    Raises :class:`BenchError` if any case's vectorized report is not
+    bit-identical to the scalar oracle's.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    results: dict[str, Any] = {"version": 1, "pinned": PINNED, "cases": {}}
+    for name, case in CASES.items():
+        array_walls: list[float] = []
+        scalar_walls: list[float] = []
+        array_report = scalar_report = None
+        for _ in range(repeats):
+            array_report, wall = case("array")
+            array_walls.append(wall)
+            scalar_report, wall = case("scalar")
+            scalar_walls.append(wall)
+        assert array_report is not None and scalar_report is not None
+        mismatches = report_mismatches(array_report, scalar_report)
+        if mismatches:
+            raise BenchError(
+                f"{name}: vectorized engine drifted from the scalar oracle:\n  "
+                + "\n  ".join(mismatches)
+            )
+        wall = statistics.median(array_walls)
+        scalar_wall = statistics.median(scalar_walls)
+        entry: dict[str, Any] = {
+            "wall_s": wall,
+            "wall_s_runs": array_walls,
+            "scalar_wall_s": scalar_wall,
+            "speedup_vs_scalar": scalar_wall / wall if wall > 0 else float("inf"),
+            "cost": cost_dict(array_report),
+        }
+        if name == "charging_p512":
+            cfg = PINNED["charging"]
+            entry["rank_charges"] = _charging_rank_charges(cfg["p"], cfg["iters"])
+            entry["rank_charges_per_s"] = entry["rank_charges"] / wall if wall > 0 else float("inf")
+        results["cases"][name] = entry
+        log(
+            f"{name}: wall={wall:.4f}s scalar={scalar_wall:.4f}s "
+            f"speedup={entry['speedup_vs_scalar']:.1f}x  oracle=identical"
+        )
+    return results
+
+
+def check_against_baseline(
+    fresh: dict[str, Any], baseline: dict[str, Any], wall_tolerance: float = WALL_TOLERANCE
+) -> list[str]:
+    """Gate failures of a fresh run versus the committed baseline ([] = pass).
+
+    Simulated costs must match exactly.  Wall-clock is compared after
+    rescaling the baseline by the scalar oracle's wall ratio on this host,
+    so the gate measures engine regressions, not hardware differences.
+    """
+    failures: list[str] = []
+    if fresh.get("pinned") != baseline.get("pinned"):
+        failures.append(
+            "pinned suite inputs differ from the baseline — regenerate it with "
+            "`repro bench --out BENCH_engine.json`"
+        )
+        return failures
+    for name, entry in fresh["cases"].items():
+        base = baseline.get("cases", {}).get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline")
+            continue
+        for field, value in entry["cost"].items():
+            base_value = base["cost"].get(field)
+            if base_value != value:
+                failures.append(
+                    f"{name}: simulated-cost drift in {field}: "
+                    f"baseline {base_value!r} != fresh {value!r}"
+                )
+        scale = (
+            entry["scalar_wall_s"] / base["scalar_wall_s"] if base.get("scalar_wall_s") else 1.0
+        )
+        budget = wall_tolerance * base["wall_s"] * scale + WALL_ABS_SLACK_S
+        if entry["wall_s"] > budget:
+            failures.append(
+                f"{name}: wall-clock regression: {entry['wall_s']:.4f}s exceeds "
+                f"{budget:.4f}s (= {wall_tolerance:.2f} x baseline {base['wall_s']:.4f}s "
+                f"x host-scale {scale:.2f})"
+            )
+        # The speedup floor is a claim about large machines (vectorization
+        # amortizes over p); only enforce it at the pinned p >= 256.
+        charging_p = fresh["pinned"].get("charging", {}).get("p", 0)
+        if name == "charging_p512" and charging_p >= 256 and entry["speedup_vs_scalar"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"{name}: speedup over the scalar oracle fell to "
+                f"{entry['speedup_vs_scalar']:.2f}x (< {SPEEDUP_FLOOR:.0f}x floor)"
+            )
+    return failures
+
+
+def render_results(results: dict[str, Any]) -> str:
+    """Fixed-width summary table of a results document."""
+    from repro.report.tables import format_table
+
+    rows = []
+    for name, entry in results["cases"].items():
+        cost = entry["cost"]
+        per_s = entry.get("rank_charges_per_s")
+        rows.append(
+            [
+                name,
+                f"{entry['wall_s']:.4f}",
+                f"{entry['scalar_wall_s']:.4f}",
+                f"{entry['speedup_vs_scalar']:.1f}x",
+                f"{per_s:.3g}" if per_s is not None else "-",
+                f"{cost['flops']:.6g}",
+                f"{cost['words']:.6g}",
+                f"{cost['mem_traffic']:.6g}",
+                int(cost["supersteps"]),
+            ]
+        )
+    return format_table(
+        ["case", "wall s", "scalar s", "speedup", "charges/s", "F", "W", "Q", "S"],
+        rows,
+        title="accounting-engine benchmark (medians; oracle bit-identical)",
+    )
+
+
+def write_results(results: dict[str, Any], path: Path) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Path) -> dict[str, Any]:
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no benchmark baseline at {path}; create one with `repro bench --out {path}`"
+        )
+    return json.loads(path.read_text())

@@ -34,10 +34,7 @@ def _charge_split(machine: BSPMachine, group: RankGroup, words_per_rank: float, 
     if words_per_rank <= 0:
         machine.superstep(group, 1)
         return
-    machine.charge_comm(
-        sends={r: words_per_rank for r in group},
-        recvs={r: words_per_rank for r in group},
-    )
+    machine.charge_comm_batch(group, words_per_rank, words_per_rank)
     machine.superstep(group, 1)
     machine.trace.record("mm_split", group.ranks, words=words_per_rank * group.size, tag=tag)
 
@@ -100,9 +97,7 @@ def _rec(
         c1 = _rec(machine, a[:, : n // 2], b[: n // 2], g1, memory_words, tag)
         c2 = _rec(machine, a[:, n // 2 :], b[n // 2 :], g2, memory_words, tag)
         per_rank = m * k / g
-        machine.charge_comm(
-            sends={r: per_rank for r in group}, recvs={r: per_rank for r in group}
-        )
+        machine.charge_comm_batch(group, per_rank, per_rank)
         machine.charge_flops(group, per_rank)
         machine.superstep(group, 1)
         machine.trace.record("mm_reduce", group.ranks, words=float(m * k), tag=tag)
@@ -143,8 +138,6 @@ def carma_matmul(
     k = b.shape[1]
     if charge_redistribution and group.size > 1:
         per_rank = (m * n + n * k) / group.size
-        machine.charge_comm(
-            sends={r: per_rank for r in group}, recvs={r: per_rank for r in group}
-        )
+        machine.charge_comm_batch(group, per_rank, per_rank)
         machine.superstep(group, 1)
     return _rec(machine, a, b, group, memory_words, tag)

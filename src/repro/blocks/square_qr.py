@@ -34,7 +34,7 @@ def _charged_trailing_update(
     machine.charge_flops(group, 2.0 * matmul_flops(rows, nb, cols) / g)
     if g > 1:
         per_rank = (rows + cols) * nb / np.sqrt(g)
-        machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+        machine.charge_comm_batch(group, per_rank, per_rank)
     machine.superstep(group, 2)
     machine.mem_stream(group[0], float(rows * nb + nb * cols + rows * cols) / g)
 

@@ -83,7 +83,7 @@ def square_qr_25d(
 
     # Replicate A onto every layer (one fiber allgather).
     share = float(m * n) / (q * q)
-    machine.charge_comm(sends={r: share for r in ggroup}, recvs={r: share for r in ggroup})
+    machine.charge_comm_batch(ggroup, share, share)
     machine.superstep(ggroup, 1)
     machine.note_memory(ggroup, 2 * share)
 
@@ -118,7 +118,7 @@ def square_qr_25d(
         t[j0:j1, j0:j1] = tp
         # Replicate the new panel of U over the layers.
         rep = float(up.size) / (q * q)
-        machine.charge_comm(sends={r: rep for r in ggroup}, recvs={r: rep for r in ggroup})
+        machine.charge_comm_batch(ggroup, rep, rep)
         machine.superstep(ggroup, 1)
     r = np.triu(a[:n, :])
     machine.trace.record("square_qr_25d", ggroup.ranks, flops=2.0 * m * n * n, tag=tag)

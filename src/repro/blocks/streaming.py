@@ -64,7 +64,7 @@ def streaming_matmul(
     # Line 4: redistribute B so each rank owns its k/(z·q) column slivers.
     if charge_b_redistribution and p > 1:
         per_rank = n * k / p
-        machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+        machine.charge_comm_batch(group, per_rank, per_rank)
         machine.superstep(group, 1)
         machine.trace.record("streaming_b_redist", group.ranks, words=float(n * k), tag=tag)
 
@@ -81,10 +81,7 @@ def streaming_matmul(
     for h in range(w):
         # Line 9: gather B_jh onto each rank (recv one block; by symmetry the
         # send side of all concurrent gathers is the same volume per rank).
-        machine.charge_comm(
-            sends={r: b_block_words for r in group},
-            recvs={r: b_block_words for r in group},
-        )
+        machine.charge_comm_batch(group, b_block_words, b_block_words)
         # Line 10: local multiply against the resident A block.
         machine.charge_flops(group, 2.0 * blk_m * blk_n * blk_k)
         for idx, rank in enumerate(group):
@@ -97,7 +94,7 @@ def streaming_matmul(
         # (q participants — this is the j-summation of Algorithm III.1).
         if q > 1:
             rs = c_block_words * (q - 1) / q
-            machine.charge_comm(sends={r: rs for r in group}, recvs={r: rs for r in group})
+            machine.charge_comm_batch(group, rs, rs)
             machine.charge_flops(group, rs)
         machine.superstep(group, 2)
     machine.trace.record(

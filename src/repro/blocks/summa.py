@@ -60,9 +60,7 @@ def summa_matmul(
     b_sliver = panel * (k / q)
     for _ in range(steps):
         per_rank = 2.0 * (a_sliver + b_sliver) * (q - 1) / q
-        machine.charge_comm(
-            sends={r: per_rank for r in group}, recvs={r: per_rank for r in group}
-        )
+        machine.charge_comm_batch(group, per_rank, per_rank)
         machine.charge_flops(group, 2.0 * (m / q) * panel * (k / q))
         for r in group:
             machine.mem_stream(r, a_sliver + b_sliver + (m / q) * (k / q))

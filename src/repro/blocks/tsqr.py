@@ -49,7 +49,7 @@ def reconstruct_householder(
         # Q's rows never move: the LU runs on the n×n top block and each
         # rank forms its rows of U = Y·W₁⁻¹ locally after a W₁ broadcast.
         per_rank = n * n / np.sqrt(g)
-        machine.charge_comm(sends={k: per_rank for k in group}, recvs={k: per_rank for k in group})
+        machine.charge_comm_batch(group, per_rank, per_rank)
         machine.superstep(group, max(1, int(np.ceil(np.log2(g)))))
     machine.mem_stream(group[0], float(u.size + t.size))
     machine.trace.record("reconstruct", group.ranks, flops=4.0 * m * n * n, tag=tag)
@@ -141,7 +141,7 @@ def tsqr_thin(
     # charged uniformly (each rank touches O(1) edges per level).
     if p_eff > 1:
         per_rank = float(n * n)
-        machine.charge_comm(sends={r: per_rank for r in grp}, recvs={r: per_rank for r in grp})
+        machine.charge_comm_batch(grp, per_rank, per_rank)
         machine.superstep(grp, max(1, int(np.ceil(np.log2(p_eff)))))
 
     q_blocks = []

@@ -19,19 +19,24 @@ cheaper to collect).
 """
 
 from repro.bsp.params import MachineParams
-from repro.bsp.counters import CostReport, RankCounters
+from repro.bsp.counters import CostReport, CounterArray, RankCounters, RankSlot
 from repro.bsp.cache import CacheModel
-from repro.bsp.machine import BSPMachine
+from repro.bsp.machine import BSPMachine, ENGINES
 from repro.bsp.group import RankGroup
 from repro.bsp.profile import Profiler
+from repro.bsp.scalar import ScalarCounterStore
 from repro.bsp import collectives
 
 __all__ = [
     "MachineParams",
     "CostReport",
+    "CounterArray",
     "RankCounters",
+    "RankSlot",
+    "ScalarCounterStore",
     "CacheModel",
     "BSPMachine",
+    "ENGINES",
     "RankGroup",
     "Profiler",
     "collectives",

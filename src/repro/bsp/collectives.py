@@ -16,10 +16,19 @@ Cost conventions (g = group size, w = payload words):
 * a reduction charges the combining flops (one add per reduced word) to the
   ranks that perform them.
 
+Charging is vectorized: each collective computes its per-rank word counts
+once (a scalar for the uniform case, a g-vector when the root differs) and
+charges the whole group through the machine's batched entry points
+(:meth:`~repro.bsp.machine.BSPMachine.charge_comm_batch`,
+:meth:`~repro.bsp.machine.BSPMachine.charge_comm_matrix`), so a collective
+costs O(1) numpy ops regardless of group size.
+
 Every primitive accepts ``tag`` for the machine trace.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.bsp.group import RankGroup
 from repro.bsp.machine import BSPMachine
@@ -31,21 +40,28 @@ def _check(machine: BSPMachine, group: RankGroup, words: float) -> None:
         raise ValueError("words must be nonnegative")
 
 
-def bcast(machine: BSPMachine, group: RankGroup, words: float, root: int | None = None, tag: str = "") -> None:
-    """Broadcast ``words`` from ``root`` to the group (two-phase optimal)."""
-    _check(machine, group, words)
+def _root_index(group: RankGroup, root: int | None) -> tuple[int, int]:
+    """Resolve the root rank and its position within the group."""
     root = group.root if root is None else root
     if root not in group:
         raise ValueError(f"root {root} not in group")
+    return root, group.index_of(root)
+
+
+def bcast(machine: BSPMachine, group: RankGroup, words: float, root: int | None = None, tag: str = "") -> None:
+    """Broadcast ``words`` from ``root`` to the group (two-phase optimal)."""
+    _check(machine, group, words)
+    root, ri = _root_index(group, root)
     g = group.size
     if g == 1 or words == 0:
         return
     share = words / g
     # Phase 1: root scatters g-1 shares; phase 2: allgather of shares.
-    machine.charge_comm(
-        sends={r: (2 * (g - 1)) * share if r == root else (g - 1) * share for r in group},
-        recvs={r: share + (g - 1) * share if r != root else (g - 1) * share for r in group},
-    )
+    sends = np.full(g, (g - 1) * share)
+    recvs = np.full(g, share + (g - 1) * share)
+    sends[ri] = (2 * (g - 1)) * share
+    recvs[ri] = (g - 1) * share
+    machine.charge_comm_batch(group, sends, recvs)
     machine.superstep(group, 2)
     machine.trace.record("bcast", group.ranks, words=words, tag=tag, root=root)
 
@@ -53,18 +69,19 @@ def bcast(machine: BSPMachine, group: RankGroup, words: float, root: int | None 
 def reduce(machine: BSPMachine, group: RankGroup, words: float, root: int | None = None, tag: str = "") -> None:
     """Reduce ``words`` contributions from every rank onto ``root``."""
     _check(machine, group, words)
-    root = group.root if root is None else root
-    if root not in group:
-        raise ValueError(f"root {root} not in group")
+    root, ri = _root_index(group, root)
     g = group.size
     if g == 1 or words == 0:
         return
     share = words / g
     # Phase 1: reduce-scatter; phase 2: gather shares onto root.
-    sends = {r: (g - 1) * share + (share if r != root else 0.0) for r in group}
-    recvs = {r: (g - 1) * share + ((g - 1) * share if r == root else 0.0) for r in group}
-    machine.charge_comm(sends=sends, recvs=recvs)
-    machine.charge_flops(group, (g - 1) * share)
+    base = (g - 1) * share
+    sends = np.full(g, base + share)
+    recvs = np.full(g, base)
+    sends[ri] = base
+    recvs[ri] = base + base
+    machine.charge_comm_batch(group, sends, recvs)
+    machine.charge_flops(group, base)
     machine.superstep(group, 2)
     machine.trace.record("reduce", group.ranks, words=words, tag=tag, root=root)
 
@@ -77,7 +94,7 @@ def allreduce(machine: BSPMachine, group: RankGroup, words: float, tag: str = ""
         return
     share = words / g
     per_rank = 2 * (g - 1) * share
-    machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+    machine.charge_comm_batch(group, per_rank, per_rank)
     machine.charge_flops(group, (g - 1) * share)
     machine.superstep(group, 2)
     machine.trace.record("allreduce", group.ranks, words=words, tag=tag)
@@ -91,7 +108,7 @@ def reduce_scatter(machine: BSPMachine, group: RankGroup, words_total: float, ta
         return
     share = words_total / g
     per_rank = (g - 1) * share
-    machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+    machine.charge_comm_batch(group, per_rank, per_rank)
     machine.charge_flops(group, per_rank)
     machine.superstep(group, 1)
     machine.trace.record("reduce_scatter", group.ranks, words=words_total, tag=tag)
@@ -104,7 +121,7 @@ def allgather(machine: BSPMachine, group: RankGroup, words_each: float, tag: str
     if g == 1 or words_each == 0:
         return
     per_rank = (g - 1) * words_each
-    machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+    machine.charge_comm_batch(group, per_rank, per_rank)
     machine.superstep(group, 1)
     machine.trace.record("allgather", group.ranks, words=g * words_each, tag=tag)
 
@@ -112,16 +129,15 @@ def allgather(machine: BSPMachine, group: RankGroup, words_each: float, tag: str
 def gather(machine: BSPMachine, group: RankGroup, words_each: float, root: int | None = None, tag: str = "") -> None:
     """Each non-root rank sends its ``words_each`` block to ``root``."""
     _check(machine, group, words_each)
-    root = group.root if root is None else root
-    if root not in group:
-        raise ValueError(f"root {root} not in group")
+    root, ri = _root_index(group, root)
     g = group.size
     if g == 1 or words_each == 0:
         return
-    machine.charge_comm(
-        sends={r: words_each for r in group if r != root},
-        recvs={root: (g - 1) * words_each},
-    )
+    sends = np.full(g, words_each)
+    recvs = np.zeros(g)
+    sends[ri] = 0.0
+    recvs[ri] = (g - 1) * words_each
+    machine.charge_comm_batch(group, sends, recvs)
     machine.superstep(group, 1)
     machine.trace.record("gather", group.ranks, words=g * words_each, tag=tag, root=root)
 
@@ -129,16 +145,15 @@ def gather(machine: BSPMachine, group: RankGroup, words_each: float, root: int |
 def scatter(machine: BSPMachine, group: RankGroup, words_each: float, root: int | None = None, tag: str = "") -> None:
     """``root`` sends a distinct ``words_each`` block to each other rank."""
     _check(machine, group, words_each)
-    root = group.root if root is None else root
-    if root not in group:
-        raise ValueError(f"root {root} not in group")
+    root, ri = _root_index(group, root)
     g = group.size
     if g == 1 or words_each == 0:
         return
-    machine.charge_comm(
-        sends={root: (g - 1) * words_each},
-        recvs={r: words_each for r in group if r != root},
-    )
+    sends = np.zeros(g)
+    recvs = np.full(g, words_each)
+    sends[ri] = (g - 1) * words_each
+    recvs[ri] = 0.0
+    machine.charge_comm_batch(group, sends, recvs)
     machine.superstep(group, 1)
     machine.trace.record("scatter", group.ranks, words=g * words_each, tag=tag, root=root)
 
@@ -147,7 +162,9 @@ def alltoall(machine: BSPMachine, group: RankGroup, transfers: dict[tuple[int, i
     """Arbitrary point-to-point exchange completed in one superstep.
 
     ``transfers[(src, dst)]`` is the word count moved from src to dst;
-    src == dst entries are local and free.
+    src == dst entries are local and free.  For dense exchange patterns,
+    :func:`alltoall_matrix` charges a whole g×g transfer matrix in O(1)
+    numpy ops instead of a Python dict walk.
     """
     machine.check_group(group)
     sends: dict[int, float] = {}
@@ -166,6 +183,23 @@ def alltoall(machine: BSPMachine, group: RankGroup, transfers: dict[tuple[int, i
     machine.charge_comm(sends=sends, recvs=recvs)
     machine.superstep(group, 1)
     machine.trace.record("alltoall", group.ranks, words=total, tag=tag)
+
+
+def alltoall_matrix(machine: BSPMachine, group: RankGroup, matrix, tag: str = "") -> None:
+    """All-to-all from a dense g×g transfer matrix, one superstep.
+
+    ``matrix[i, j]`` words move from ``group[i]`` to ``group[j]``; diagonal
+    entries are local and free.  Row/column sums are charged in one
+    vectorized op via :meth:`~repro.bsp.machine.BSPMachine.charge_comm_matrix`.
+    """
+    machine.check_group(group)
+    mat = np.asarray(matrix, dtype=np.float64)
+    machine.charge_comm_matrix(group, mat)
+    machine.superstep(group, 1)
+    if machine.trace.enabled:
+        off = mat.copy()
+        np.fill_diagonal(off, 0.0)
+        machine.trace.record("alltoall", group.ranks, words=float(off.sum()), tag=tag)
 
 
 def p2p(machine: BSPMachine, src: int, dst: int, words: float, tag: str = "") -> None:

@@ -4,6 +4,23 @@ Each virtual rank accumulates F (flops), words sent, words received,
 Q (memory↔cache traffic) and S (supersteps it participated in).  A
 :class:`CostReport` snapshots the machine-wide aggregates used everywhere in
 tests and benchmarks.
+
+Two counter stores implement the same accumulation interface:
+
+* :class:`CounterArray` — the default engine: one numpy ``float64`` (or
+  ``int64`` for S) array per quantity, one slot per rank, so charging a
+  whole :class:`~repro.bsp.group.RankGroup` is a single fancy-indexed slice
+  op.  ``machine.counters[r]`` hands back a :class:`RankSlot` view, keeping
+  the historical per-rank attribute API (``counters[r].flops`` readable and
+  writable) without per-rank Python objects.
+* :class:`repro.bsp.scalar.ScalarCounterStore` — the pre-vectorization
+  oracle: a list of :class:`RankCounters` updated by Python loops, kept as
+  the reference the equivalence suite and ``repro bench`` compare against.
+
+All *values* charged are computed by the machine/collective layer before
+they reach a store; stores only accumulate.  Per-rank accumulation therefore
+performs the identical sequence of IEEE-754 additions in both stores, which
+is what makes the engines bit-identical, not merely close.
 """
 
 from __future__ import annotations
@@ -62,7 +79,10 @@ class CostReport:
     total_words: float
     total_mem_traffic: float
     peak_memory_words: float
-    per_rank: tuple = field(repr=False, default=())
+    #: per-rank snapshot backing ``__sub__``: a tuple of :class:`RankCounters`
+    #: (scalar engine) or a :class:`CounterArray` (vectorized engine).
+    #: Excluded from equality so reports from either engine compare by cost.
+    per_rank: object = field(repr=False, compare=False, default=())
 
     @property
     def F(self) -> float:  # noqa: N802 — paper notation
@@ -103,6 +123,8 @@ class CostReport:
         """
         if self.p != other.p:
             raise ValueError("cannot subtract cost reports from different machines")
+        if isinstance(self.per_rank, CounterArray) and isinstance(other.per_rank, CounterArray):
+            return self.per_rank.delta_report(other.per_rank)
         deltas = [
             RankCounters(
                 flops=a.flops - b.flops,
@@ -123,6 +145,266 @@ class CostReport:
             f"Q={self.mem_traffic:.3g}  S={self.supersteps}  "
             f"balance={self.flop_imbalance:.2f}"
         )
+
+
+#: counter quantities tracked per rank, in canonical order
+COUNTER_FIELDS: tuple[str, ...] = (
+    "flops",
+    "words_sent",
+    "words_recv",
+    "mem_traffic",
+    "supersteps",
+    "peak_memory_words",
+    "current_memory_words",
+)
+
+
+class RankSlot:
+    """Mutable view of one rank's slot in a :class:`CounterArray`.
+
+    Supports the same attribute API as :class:`RankCounters` (including
+    assignment, which tests use to fault-inject counter decreases), writing
+    through to the backing arrays.
+    """
+
+    __slots__ = ("_store", "_i")
+
+    def __init__(self, store: "CounterArray", i: int):
+        self._store = store
+        self._i = i
+
+    @property
+    def flops(self) -> float:
+        return float(self._store.flops[self._i])
+
+    @flops.setter
+    def flops(self, v: float) -> None:
+        self._store.flops[self._i] = v
+
+    @property
+    def words_sent(self) -> float:
+        return float(self._store.words_sent[self._i])
+
+    @words_sent.setter
+    def words_sent(self, v: float) -> None:
+        self._store.words_sent[self._i] = v
+
+    @property
+    def words_recv(self) -> float:
+        return float(self._store.words_recv[self._i])
+
+    @words_recv.setter
+    def words_recv(self, v: float) -> None:
+        self._store.words_recv[self._i] = v
+
+    @property
+    def mem_traffic(self) -> float:
+        return float(self._store.mem_traffic[self._i])
+
+    @mem_traffic.setter
+    def mem_traffic(self, v: float) -> None:
+        self._store.mem_traffic[self._i] = v
+
+    @property
+    def supersteps(self) -> int:
+        return int(self._store.supersteps[self._i])
+
+    @supersteps.setter
+    def supersteps(self, v: int) -> None:
+        self._store.supersteps[self._i] = v
+
+    @property
+    def peak_memory_words(self) -> float:
+        return float(self._store.peak_memory_words[self._i])
+
+    @peak_memory_words.setter
+    def peak_memory_words(self, v: float) -> None:
+        self._store.peak_memory_words[self._i] = v
+
+    @property
+    def current_memory_words(self) -> float:
+        return float(self._store.current_memory_words[self._i])
+
+    @current_memory_words.setter
+    def current_memory_words(self, v: float) -> None:
+        self._store.current_memory_words[self._i] = v
+
+    @property
+    def words(self) -> float:
+        return self.words_sent + self.words_recv
+
+    def copy(self) -> RankCounters:
+        """Detach into a plain :class:`RankCounters` value."""
+        return RankCounters(
+            flops=self.flops,
+            words_sent=self.words_sent,
+            words_recv=self.words_recv,
+            mem_traffic=self.mem_traffic,
+            supersteps=self.supersteps,
+            peak_memory_words=self.peak_memory_words,
+            current_memory_words=self.current_memory_words,
+        )
+
+    def __repr__(self) -> str:
+        return f"RankSlot({self.copy()!r})"
+
+
+class CounterArray:
+    """Vectorized per-rank counter store: one array slot per rank.
+
+    Accumulation entry points take either a single ``int`` rank or an
+    ``int64`` index array (a cached :meth:`RankGroup.indices
+    <repro.bsp.group.RankGroup.indices>` array); either way each update is
+    O(1) numpy work rather than an O(ranks) Python loop.  ``unique=False``
+    routes through :func:`numpy.add.at` so duplicate indices accumulate,
+    matching the historical loop semantics for arbitrary iterables.
+    """
+
+    __slots__ = (
+        "p",
+        "flops",
+        "words_sent",
+        "words_recv",
+        "mem_traffic",
+        "supersteps",
+        "peak_memory_words",
+        "current_memory_words",
+    )
+
+    def __init__(self, p: int):
+        self.p = p
+        self.flops = np.zeros(p)
+        self.words_sent = np.zeros(p)
+        self.words_recv = np.zeros(p)
+        self.mem_traffic = np.zeros(p)
+        self.supersteps = np.zeros(p, dtype=np.int64)
+        self.peak_memory_words = np.zeros(p)
+        self.current_memory_words = np.zeros(p)
+
+    # -- sequence protocol (per-rank views) ----------------------------- #
+
+    def __len__(self) -> int:
+        return self.p
+
+    def __getitem__(self, rank: int) -> RankSlot:
+        if not -self.p <= rank < self.p:
+            raise IndexError(f"rank {rank} out of range for p={self.p}")
+        return RankSlot(self, rank % self.p)
+
+    def __iter__(self):
+        return (RankSlot(self, i) for i in range(self.p))
+
+    # -- accumulation primitives ---------------------------------------- #
+    # ``idx`` is an int or an int64 ndarray; ``amount`` a float or an
+    # aligned float array.  Values are computed by the caller — stores only
+    # add, so scalar and vectorized engines perform identical IEEE ops.
+
+    def add_flops(self, idx, amount, unique: bool = True) -> None:
+        if unique:
+            self.flops[idx] += amount
+        else:
+            np.add.at(self.flops, idx, amount)
+
+    def add_comm(self, send_idx=None, sent=None, recv_idx=None, recvd=None) -> None:
+        if send_idx is not None:
+            self.words_sent[send_idx] += sent
+        if recv_idx is not None:
+            self.words_recv[recv_idx] += recvd
+
+    def add_supersteps(self, idx, count: int, unique: bool = True) -> None:
+        if unique:
+            self.supersteps[idx] += count
+        else:
+            np.add.at(self.supersteps, idx, count)
+
+    def add_mem_traffic(self, idx, words, unique: bool = True) -> None:
+        if unique:
+            self.mem_traffic[idx] += words
+        else:
+            np.add.at(self.mem_traffic, idx, words)
+
+    def note_memory(self, idx, words_each: float) -> None:
+        cur = self.current_memory_words
+        if isinstance(idx, np.ndarray):
+            cur[idx] = np.maximum(cur[idx], words_each)
+            self.peak_memory_words[idx] = np.maximum(self.peak_memory_words[idx], cur[idx])
+        else:
+            cur[idx] = max(cur[idx], words_each)
+            self.peak_memory_words[idx] = max(self.peak_memory_words[idx], cur[idx])
+
+    def add_memory(self, idx, words_each: float) -> None:
+        cur = self.current_memory_words
+        cur[idx] += words_each
+        if isinstance(idx, np.ndarray):
+            self.peak_memory_words[idx] = np.maximum(self.peak_memory_words[idx], cur[idx])
+        else:
+            self.peak_memory_words[idx] = max(self.peak_memory_words[idx], cur[idx])
+
+    def release_memory(self, idx, words_each: float) -> None:
+        cur = self.current_memory_words
+        if isinstance(idx, np.ndarray):
+            cur[idx] = np.maximum(0.0, cur[idx] - words_each)
+        else:
+            cur[idx] = max(0.0, cur[idx] - words_each)
+
+    # -- snapshots and reports ------------------------------------------ #
+
+    def field_array(self, name: str) -> np.ndarray:
+        """The backing array for one counter quantity (no copy)."""
+        if name not in COUNTER_FIELDS:
+            raise ValueError(f"unknown counter field {name!r}")
+        return getattr(self, name)
+
+    def snapshot(self) -> "CounterArray":
+        """O(p) array copy of all counters (watermarks, report backing)."""
+        out = CounterArray.__new__(CounterArray)
+        out.p = self.p
+        for name in COUNTER_FIELDS:
+            setattr(out, name, getattr(self, name).copy())
+        return out
+
+    def reset(self) -> None:
+        for name in COUNTER_FIELDS:
+            getattr(self, name).fill(0)
+
+    def report(self) -> CostReport:
+        """Vectorized equivalent of :func:`aggregate` over this store."""
+        words = self.words_sent + self.words_recv
+        return CostReport(
+            p=self.p,
+            flops=float(self.flops.max()),
+            words=float(words.max()),
+            mem_traffic=float(self.mem_traffic.max()),
+            supersteps=int(self.supersteps.max()),
+            total_flops=float(self.flops.sum()),
+            total_words=float(words.sum()),
+            total_mem_traffic=float(self.mem_traffic.sum()),
+            peak_memory_words=float(self.peak_memory_words.max()),
+            per_rank=self.snapshot(),
+        )
+
+    def delta_report(self, older: "CounterArray") -> CostReport:
+        """Re-aggregated per-rank delta against an older snapshot.
+
+        Matches the scalar ``CostReport.__sub__`` convention: additive
+        counters are differenced per rank before aggregation, while the
+        peak-memory high-water mark is taken from the newer snapshot.
+        """
+        if self.p != older.p:
+            raise ValueError("cannot subtract counter stores of different sizes")
+        d = CounterArray.__new__(CounterArray)
+        d.p = self.p
+        d.flops = self.flops - older.flops
+        d.words_sent = self.words_sent - older.words_sent
+        d.words_recv = self.words_recv - older.words_recv
+        d.mem_traffic = self.mem_traffic - older.mem_traffic
+        d.supersteps = self.supersteps - older.supersteps
+        d.peak_memory_words = self.peak_memory_words.copy()
+        d.current_memory_words = np.zeros(self.p)
+        return d.report()
+
+    def __repr__(self) -> str:
+        return f"CounterArray(p={self.p})"
 
 
 def aggregate(per_rank: list[RankCounters]) -> CostReport:

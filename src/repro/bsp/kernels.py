@@ -189,8 +189,7 @@ def sharded_matvec(
     g = _group_size(ranks)
     y = scale * (a @ v)
     machine.charge_flops(ranks, 2.0 * m * n / g)
-    for r in ranks:
-        machine.mem_stream(r, m * n / g)
+    machine.mem_stream_group(ranks, m * n / g)
     return y
 
 
@@ -205,8 +204,7 @@ def sharded_dot(machine: BSPMachine, ranks, x: np.ndarray, y: np.ndarray) -> flo
     g = _group_size(ranks)
     n = float(x.size)
     machine.charge_flops(ranks, 2.0 * n / g)
-    for r in ranks:
-        machine.mem_stream(r, 2.0 * n / g)
+    machine.mem_stream_group(ranks, 2.0 * n / g)
     return float(np.dot(x.ravel(), y.ravel()))
 
 
@@ -218,8 +216,7 @@ def sharded_axpy(machine: BSPMachine, ranks, alpha: float, x: np.ndarray, y: np.
     n = float(x.size)
     y += alpha * x
     machine.charge_flops(ranks, 2.0 * n / g)
-    for r in ranks:
-        machine.mem_stream(r, 2.0 * n / g)
+    machine.mem_stream_group(ranks, 2.0 * n / g)
     return y
 
 
@@ -236,6 +233,5 @@ def sharded_rank2_update(machine: BSPMachine, ranks, a: np.ndarray, v: np.ndarra
     g = _group_size(ranks)
     a -= np.outer(v, w) + np.outer(w, v)
     machine.charge_flops(ranks, 4.0 * m * n / g)
-    for r in ranks:
-        machine.mem_stream(r, m * n / g)
+    machine.mem_stream_group(ranks, m * n / g)
     return a

@@ -9,27 +9,72 @@ would have on a real machine (max over ranks per quantity).
 
 Disjoint groups that the paper runs concurrently are simply charged on their
 own ranks; the max-over-ranks aggregation then reflects the concurrency.
+
+Accounting engines
+------------------
+Counters live in a pluggable *store*.  The default ``engine="array"`` is a
+:class:`~repro.bsp.counters.CounterArray`: numpy arrays with one slot per
+rank, so charging a :class:`~repro.bsp.group.RankGroup` is one fancy-indexed
+slice op against the group's cached index array — O(1) numpy calls instead
+of O(|group|) Python iterations.  ``engine="scalar"`` (also selectable
+machine-wide with the ``REPRO_ENGINE`` environment variable) is the
+pre-vectorization Python-loop oracle used by the equivalence suite and
+``repro bench``; both engines produce bit-identical cost reports.
+
+Batched entry points (:meth:`charge_flops_batch`, :meth:`charge_comm_batch`,
+:meth:`charge_comm_matrix`, :meth:`mem_stream_group`) let collectives and
+sharded kernels charge a whole group — uniformly, per-rank weighted, or from
+a g×g transfer matrix — without building Python dicts in inner loops.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+import os
+from typing import TYPE_CHECKING, Iterable, Mapping, Union
+
+import numpy as np
 
 from repro.bsp.cache import CacheModel
-from repro.bsp.counters import CostReport, RankCounters, aggregate
+from repro.bsp.counters import CostReport, CounterArray
 from repro.bsp.group import RankGroup
 from repro.bsp.params import MachineParams
 from repro.bsp.trace import Trace
 from repro.util.validation import check_positive_int
 
+if TYPE_CHECKING:
+    from repro.bsp.scalar import ScalarCounterStore
+
+#: valid accounting engines (see module docstring)
+ENGINES = ("array", "scalar")
+
+#: either counter store; both implement the same accumulation interface
+CounterStore = Union[CounterArray, "ScalarCounterStore"]
+
+
+def _make_store(engine: str, p: int):
+    if engine == "array":
+        return CounterArray(p)
+    if engine == "scalar":
+        from repro.bsp.scalar import ScalarCounterStore  # late import: avoid cycle
+
+        return ScalarCounterStore(p)
+    raise ValueError(f"unknown accounting engine {engine!r}; expected one of {ENGINES}")
+
 
 class BSPMachine:
     """A ``p``-processor simulated BSP machine with cost accounting."""
 
-    def __init__(self, p: int, params: MachineParams | None = None, trace: bool = False):
+    def __init__(
+        self,
+        p: int,
+        params: MachineParams | None = None,
+        trace: bool = False,
+        engine: str | None = None,
+    ):
         self.p = check_positive_int(p, "p")
         self.params = params or MachineParams()
-        self.counters: list[RankCounters] = [RankCounters() for _ in range(self.p)]
+        self.engine = engine or os.environ.get("REPRO_ENGINE") or "array"
+        self.counters = _make_store(self.engine, self.p)
         self.caches: list[CacheModel] = [CacheModel(self.params.cache_words) for _ in range(self.p)]
         self.trace = Trace(enabled=trace)
         self.world = RankGroup(tuple(range(self.p)))
@@ -43,21 +88,60 @@ class BSPMachine:
         return rank
 
     def check_group(self, group: RankGroup) -> RankGroup:
-        for r in group:
-            self._check_rank(r)
+        group.indices()  # build the cache (and cache min/max) once
+        if group.min_rank < 0 or group.max_rank >= self.p:
+            bad = group.min_rank if group.min_rank < 0 else group.max_rank
+            raise ValueError(f"rank {bad} out of range [0, {self.p})")
         return group
+
+    def _resolve(self, ranks: RankGroup | Iterable[int] | int):
+        """Normalize a rank spec to ``(idx, unique)``.
+
+        ``idx`` is an int (single rank) or an int64 index array — for a
+        :class:`RankGroup` the group's cached array, bounds-checked in O(1).
+        ``unique`` is False only for arbitrary iterables, whose possible
+        duplicate entries must still accumulate (loop semantics).
+        """
+        if isinstance(ranks, RankGroup):
+            self.check_group(ranks)
+            return ranks.indices(), True
+        if isinstance(ranks, (int, np.integer)):
+            return self._check_rank(int(ranks)), True
+        idx = np.fromiter((int(r) for r in ranks), dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.p):
+            bad = int(idx.min()) if idx.min() < 0 else int(idx.max())
+            raise ValueError(f"rank {bad} out of range [0, {self.p})")
+        # Arbitrary iterables may repeat a rank; flag so additive charges
+        # accumulate per occurrence (np.add.at) as the old loops did.
+        unique = idx.size == len(set(idx.tolist()))
+        return idx, unique
 
     # ------------------------------------------------------------------ #
     # charging primitives
 
-    def charge_flops(self, ranks: Iterable[int] | int, flops_each: float) -> None:
+    def charge_flops(self, ranks: RankGroup | Iterable[int] | int, flops_each: float) -> None:
         """Charge ``flops_each`` local operations to each listed rank."""
         if flops_each < 0:
             raise ValueError("flops must be nonnegative")
-        if isinstance(ranks, int):
-            ranks = (ranks,)
-        for r in ranks:
-            self.counters[self._check_rank(r)].flops += flops_each
+        idx, unique = self._resolve(ranks)
+        self.counters.add_flops(idx, flops_each, unique=unique)
+
+    def charge_flops_batch(self, ranks: RankGroup | Iterable[int], flops_per_rank) -> None:
+        """Charge rank ``ranks[i]`` exactly ``flops_per_rank[i]`` flops.
+
+        The vector-valued sibling of :meth:`charge_flops`: one numpy op for a
+        whole group with heterogeneous (e.g. load-imbalanced) charges.
+        """
+        idx, unique = self._resolve(ranks)
+        amounts = np.asarray(flops_per_rank, dtype=np.float64)
+        size = 1 if isinstance(idx, int) else idx.size
+        if amounts.ndim != 1 or amounts.size != size:
+            raise ValueError(
+                f"flops_per_rank must be a 1-D array of length {size}, got shape {amounts.shape}"
+            )
+        if amounts.size and amounts.min() < 0:
+            raise ValueError("flops must be nonnegative")
+        self.counters.add_flops(idx, float(amounts[0]) if isinstance(idx, int) else amounts, unique=unique)
 
     def charge_comm(
         self,
@@ -65,22 +149,100 @@ class BSPMachine:
         recvs: Mapping[int, float] | None = None,
     ) -> None:
         """Charge horizontal word counts: ``sends[r]`` words sent by rank r, etc."""
-        for r, w in (sends or {}).items():
-            if w < 0:
+        s_idx = s_w = r_idx = r_w = None
+        if sends:
+            s_idx = np.fromiter(sends.keys(), dtype=np.int64, count=len(sends))
+            s_w = np.fromiter(sends.values(), dtype=np.float64, count=len(sends))
+            if s_w.min() < 0:
                 raise ValueError("sent words must be nonnegative")
-            self.counters[self._check_rank(r)].words_sent += w
-        for r, w in (recvs or {}).items():
-            if w < 0:
+            if s_idx.min() < 0 or s_idx.max() >= self.p:
+                self._check_rank(int(s_idx.min() if s_idx.min() < 0 else s_idx.max()))
+        if recvs:
+            r_idx = np.fromiter(recvs.keys(), dtype=np.int64, count=len(recvs))
+            r_w = np.fromiter(recvs.values(), dtype=np.float64, count=len(recvs))
+            if r_w.min() < 0:
                 raise ValueError("received words must be nonnegative")
-            self.counters[self._check_rank(r)].words_recv += w
+            if r_idx.min() < 0 or r_idx.max() >= self.p:
+                self._check_rank(int(r_idx.min() if r_idx.min() < 0 else r_idx.max()))
+        if s_idx is not None or r_idx is not None:
+            self.counters.add_comm(s_idx, s_w, r_idx, r_w)
+
+    def charge_comm_batch(
+        self,
+        group: RankGroup | Iterable[int],
+        sent_each=None,
+        recv_each=None,
+    ) -> None:
+        """Charge send/recv words across ``group`` in one vector op.
+
+        ``sent_each``/``recv_each`` are either scalars (the uniform per-rank
+        word count — the common collective case) or 1-D arrays aligned with
+        the group's rank order.  ``None`` skips that direction.
+        """
+        if sent_each is None and recv_each is None:
+            return
+        idx, unique = self._resolve(group)
+        if not unique:
+            raise ValueError("charge_comm_batch requires distinct ranks (use a RankGroup)")
+
+        def _prep(words, label):
+            if words is None:
+                return None
+            arr_or_scalar = words
+            if np.ndim(words) == 0:
+                if float(words) < 0:
+                    raise ValueError(f"{label} words must be nonnegative")
+                return float(words)
+            arr = np.asarray(words, dtype=np.float64)
+            size = 1 if isinstance(idx, int) else idx.size
+            if arr.ndim != 1 or arr.size != size:
+                raise ValueError(f"{label} words must be a 1-D array aligned with the group")
+            if arr.size and arr.min() < 0:
+                raise ValueError(f"{label} words must be nonnegative")
+            return arr
+
+        sent = _prep(sent_each, "sent")
+        recvd = _prep(recv_each, "received")
+        self.counters.add_comm(
+            idx if sent is not None else None,
+            sent,
+            idx if recvd is not None else None,
+            recvd,
+        )
+
+    def charge_comm_matrix(self, group: RankGroup, matrix) -> None:
+        """Charge a g×g transfer matrix over ``group`` in one vector op.
+
+        ``matrix[i, j]`` is the word count moved from ``group[i]`` to
+        ``group[j]``; diagonal entries are local copies and free.  Row sums
+        are charged as sends, column sums as receives — the batched
+        equivalent of an ``alltoall`` transfer dict.  Does not end a
+        superstep (callers batch, as with :func:`~repro.bsp.collectives.p2p`).
+        """
+        idx, unique = self._resolve(group)
+        if isinstance(idx, int):
+            return  # single-rank group: all transfers are local
+        if not unique:
+            raise ValueError("charge_comm_matrix requires distinct ranks (use a RankGroup)")
+        g = idx.size
+        mat = np.asarray(matrix, dtype=np.float64)
+        if mat.shape != (g, g):
+            raise ValueError(f"transfer matrix must be {g}x{g} for this group, got {mat.shape}")
+        if mat.size and mat.min() < 0:
+            raise ValueError("transfer words must be nonnegative")
+        off = mat.copy()
+        np.fill_diagonal(off, 0.0)
+        sends = off.sum(axis=1)
+        recvs = off.sum(axis=0)
+        self.counters.add_comm(idx, sends, idx, recvs)
 
     def superstep(self, group: RankGroup | Iterable[int] | None = None, count: int = 1) -> None:
         """End ``count`` supersteps for the given group (default: all ranks)."""
         if count < 0:
             raise ValueError("superstep count must be nonnegative")
         ranks = self.world if group is None else group
-        for r in ranks:
-            self.counters[self._check_rank(r)].supersteps += count
+        idx, unique = self._resolve(ranks)
+        self.counters.add_supersteps(idx, count, unique=unique)
         self.trace.record("superstep", ranks if not isinstance(ranks, RankGroup) else ranks.ranks)
 
     # ------------------------------------------------------------------ #
@@ -89,18 +251,28 @@ class BSPMachine:
     def mem_read(self, rank: int, key: object, words: float) -> None:
         """Rank reads a dataset from memory; charges Q only on a cache miss."""
         moved = self.caches[self._check_rank(rank)].access(key, words)
-        self.counters[rank].mem_traffic += moved
+        self.counters.add_mem_traffic(rank, moved)
 
     def mem_write(self, rank: int, key: object, words: float) -> None:
         """Rank produces a dataset; charges its write-back to memory."""
         moved = self.caches[self._check_rank(rank)].write(key, words)
-        self.counters[rank].mem_traffic += moved
+        self.counters.add_mem_traffic(rank, moved)
 
     def mem_stream(self, rank: int, words: float) -> None:
         """Charge uncacheable streaming traffic (always moves)."""
         if words < 0:
             raise ValueError("words must be nonnegative")
-        self.counters[self._check_rank(rank)].mem_traffic += words
+        self.counters.add_mem_traffic(self._check_rank(rank), words)
+
+    def mem_stream_group(self, ranks: RankGroup | Iterable[int], words_each: float) -> None:
+        """Charge ``words_each`` streamed words to every rank in the group.
+
+        The batched sibling of :meth:`mem_stream` used by sharded kernels.
+        """
+        if words_each < 0:
+            raise ValueError("words must be nonnegative")
+        idx, unique = self._resolve(ranks)
+        self.counters.add_mem_traffic(idx, words_each, unique=unique)
 
     def cache_resident(self, rank: int, key: object) -> bool:
         """True iff the dataset is currently in the rank's cache."""
@@ -109,48 +281,45 @@ class BSPMachine:
     # ------------------------------------------------------------------ #
     # memory-footprint tracking (high-water mark per rank)
 
-    def note_memory(self, ranks: Iterable[int] | int, words_each: float) -> None:
+    def note_memory(self, ranks: RankGroup | Iterable[int] | int, words_each: float) -> None:
         """Record that each listed rank currently holds ``words_each`` words.
 
         The distribution layer calls this when matrices are created or
         replicated; only the peak matters for the M claims.
         """
-        if isinstance(ranks, int):
-            ranks = (ranks,)
-        for r in ranks:
-            c = self.counters[self._check_rank(r)]
-            c.current_memory_words = max(c.current_memory_words, words_each)
-            c.peak_memory_words = max(c.peak_memory_words, c.current_memory_words)
+        idx, _ = self._resolve(ranks)
+        self.counters.note_memory(idx, words_each)  # max-based: duplicates are idempotent
 
-    def add_memory(self, ranks: Iterable[int] | int, words_each: float) -> None:
+    def add_memory(self, ranks: RankGroup | Iterable[int] | int, words_each: float) -> None:
         """Increase each rank's live footprint by ``words_each`` words."""
-        if isinstance(ranks, int):
-            ranks = (ranks,)
-        for r in ranks:
-            c = self.counters[self._check_rank(r)]
-            c.current_memory_words += words_each
-            c.peak_memory_words = max(c.peak_memory_words, c.current_memory_words)
+        idx, unique = self._resolve(ranks)
+        if not unique:
+            for r in idx.tolist():  # keep per-occurrence loop semantics
+                self.counters.add_memory(r, words_each)
+            return
+        self.counters.add_memory(idx, words_each)
 
-    def release_memory(self, ranks: Iterable[int] | int, words_each: float) -> None:
+    def release_memory(self, ranks: RankGroup | Iterable[int] | int, words_each: float) -> None:
         """Decrease each rank's live footprint (never below zero)."""
-        if isinstance(ranks, int):
-            ranks = (ranks,)
-        for r in ranks:
-            c = self.counters[self._check_rank(r)]
-            c.current_memory_words = max(0.0, c.current_memory_words - words_each)
+        idx, unique = self._resolve(ranks)
+        if not unique:
+            for r in idx.tolist():  # per-occurrence clamping at zero
+                self.counters.release_memory(r, words_each)
+            return
+        self.counters.release_memory(idx, words_each)
 
     # ------------------------------------------------------------------ #
     # reporting
 
     def cost(self) -> CostReport:
         """Snapshot the aggregated cost so far."""
-        return aggregate(self.counters)
+        return self.counters.report()
 
     def reset(self) -> None:
         """Zero all counters and caches (parameters are kept)."""
-        self.counters = [RankCounters() for _ in range(self.p)]
+        self.counters.reset()
         self.caches = [CacheModel(self.params.cache_words) for _ in range(self.p)]
         self.trace.clear()
 
     def __repr__(self) -> str:
-        return f"BSPMachine(p={self.p}, params={self.params})"
+        return f"BSPMachine(p={self.p}, params={self.params}, engine={self.engine!r})"

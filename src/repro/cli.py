@@ -9,6 +9,8 @@ solve    run the 2.5D eigensolver on a random symmetric matrix and print
 run      alias of ``solve``
 lint     static cost-accounting lint of the source tree (see
          docs/static_analysis.md)
+bench    wall-clock benchmark of the accounting engine itself; with
+         ``--check`` gates against a committed BENCH_engine.json baseline
 table1   print the paper's Table I, symbolically and evaluated at (n, p)
 figure1  print the Figure 1 structure diagram (Algorithm IV.1)
 figure2  print the Figure 2 pipeline diagram (Algorithm IV.2)
@@ -57,7 +59,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--no-baseline")
     if args.write_baseline:
         argv.append("--write-baseline")
+    if args.fail_stale:
+        argv.append("--fail-stale")
     return runner.main(argv)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    try:
+        results = bench.run_suite(repeats=args.repeats)
+    except bench.BenchError as exc:
+        print(f"bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(bench.render_results(results))
+    out = bench.write_results(results, args.out)
+    print(f"\nwrote {out}")
+    if args.check is None:
+        return 0
+    try:
+        baseline = bench.load_baseline(args.check)
+    except FileNotFoundError as exc:
+        print(f"bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    failures = bench.check_against_baseline(results, baseline)
+    if failures:
+        print(f"\nbench FAILED against baseline {args.check}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"baseline check passed against {args.check}")
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -146,7 +178,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--baseline", type=Path, default=None)
     p_lint.add_argument("--no-baseline", action="store_true")
     p_lint.add_argument("--write-baseline", action="store_true")
+    p_lint.add_argument(
+        "--fail-stale",
+        action="store_true",
+        help="error on baseline entries allowing more findings than currently exist",
+    )
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_bench = sub.add_parser("bench", help="wall-clock benchmark of the accounting engine")
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per case (median is reported)"
+    )
+    p_bench.add_argument(
+        "--out",
+        type=Path,
+        default=Path("benchmarks") / "results" / "BENCH_engine.json",
+        help="where to write the fresh results JSON",
+    )
+    p_bench.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed BENCH_engine.json; exit 1 on cost drift, "
+        ">25%% wall regression (host-calibrated), or speedup below the 3x floor",
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_t1 = sub.add_parser("table1", help="print Table I")
     p_t1.add_argument("--n", type=int, default=65536)

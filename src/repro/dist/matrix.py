@@ -59,9 +59,7 @@ class DistMatrix:
         if charge_distribution:
             group = layout.ranks()
             share = data.size / max(1, group.size)
-            machine.charge_comm(
-                sends={r: share for r in group}, recvs={r: share for r in group}
-            )
+            machine.charge_comm_batch(group, share, share)
             machine.superstep(group, 1)
             machine.trace.record("distribute", group.ranks, words=float(data.size), tag="from_global")
         return mat

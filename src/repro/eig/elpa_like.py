@@ -65,9 +65,7 @@ def eigensolve_elpa_like(
     e = np.diag(tri.data, -1).copy()
     evals = sturm_bisection_eigenvalues(d, e)
     machine.charge_flops(machine.world, 64.0 * 5.0 * n * n / p)
-    machine.charge_comm(
-        sends={r: float(n) for r in machine.world}, recvs={r: float(n) for r in machine.world}
-    )
+    machine.charge_comm_batch(machine.world, float(n), float(n))
     machine.superstep(machine.world, 2)
     machine.trace.record("elpa_like", machine.world.ranks, tag=tag)
     return evals

@@ -78,7 +78,7 @@ def full_to_band_2p5d(
     # after which each rank holds its n²/q² layer-local share (Lemma IV.1).
     share = float(n * n) / (q * q)
     if p > 1:
-        machine.charge_comm(sends={r: share for r in group}, recvs={r: share for r in group})
+        machine.charge_comm_batch(group, share, share)
         machine.superstep(group, 1)
     machine.note_memory(group, 3 * share)  # A + U + V replicas
     machine.trace.record("replicate_A", group.ranks, words=share * p, tag=tag)
@@ -142,7 +142,7 @@ def full_to_band_2p5d(
 
         # ---- line 10: replicate U1 and V1 over all layers ------------------
         rep = float(u1.size + v1.size) / (q * q)
-        machine.charge_comm(sends={r: rep for r in group}, recvs={r: rep for r in group})
+        machine.charge_comm_batch(group, rep, rep)
         machine.superstep(group, 1)
         machine.trace.record("replicate_UV", group.ranks, words=rep * p, tag=tag)
 

@@ -41,12 +41,12 @@ def tridiagonalize_scalapack_like(
         # Column broadcast of v along the grid (row + column phases).
         per_rank = 2.0 * nbar / sqrt_p
         if p > 1:
-            machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+            machine.charge_comm_batch(group, per_rank, per_rank)
         # w = τ·A v (trailing matvec): flops and streaming split over ranks.
         w = sharded_matvec(machine, group, a[j + 1 :, j + 1 :], v, scale=tau)
         # allreduce of the partial w segments.
         if p > 1:
-            machine.charge_comm(sends={r: per_rank for r in group}, recvs={r: per_rank for r in group})
+            machine.charge_comm_batch(group, per_rank, per_rank)
         machine.superstep(group, 3)
         if tau != 0.0:
             # w ← w − ½τ(wᵀv)v, then the rank-2 symmetric update
@@ -73,8 +73,6 @@ def eigensolve_scalapack_like(machine: BSPMachine, a: np.ndarray, tag: str = "sc
     n = d.size
     evals = sturm_bisection_eigenvalues(d, e)
     machine.charge_flops(machine.world, 64.0 * 5.0 * n * n / machine.p)
-    machine.charge_comm(
-        sends={r: float(n) for r in machine.world}, recvs={r: float(n) for r in machine.world}
-    )
+    machine.charge_comm_batch(machine.world, float(n), float(n))
     machine.superstep(machine.world, 2)
     return evals

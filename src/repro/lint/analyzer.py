@@ -31,9 +31,13 @@ FLOP_FUNCS = frozenset(
 CHARGE_CALLS = frozenset(
     {
         "charge_comm",
+        "charge_comm_batch",
+        "charge_comm_matrix",
         "charge_flops",
+        "charge_flops_batch",
         "superstep",
         "mem_stream",
+        "mem_stream_group",
         "mem_read",
         "mem_write",
         "charge_store",
@@ -49,6 +53,7 @@ CHARGE_CALLS = frozenset(
         "gather",
         "scatter",
         "alltoall",
+        "alltoall_matrix",
         "p2p",
     }
 )

@@ -80,6 +80,24 @@ def apply_baseline(
     return reported, suppressed
 
 
+def stale_entries(
+    findings: list[Finding], allowed: dict[tuple[str, str], int]
+) -> list[tuple[str, str, int, int]]:
+    """Baseline entries whose quota exceeds the current finding count.
+
+    Returns ``(path, rule, allowed, actual)`` per stale entry.  A stale
+    entry means a previously-accepted finding was fixed but the baseline
+    still licenses it — the quota should be ratcheted down (regenerate with
+    ``--write-baseline``) so the fix cannot silently regress.
+    """
+    groups = Counter((f.path, f.rule) for f in findings)
+    return [
+        (path, rule, quota, groups.get((path, rule), 0))
+        for (path, rule), quota in sorted(allowed.items())
+        if groups.get((path, rule), 0) < quota
+    ]
+
+
 def discover_baseline(start: Path) -> Path | None:
     """Walk up from ``start`` looking for the checked-in baseline file."""
     node = start.resolve()

@@ -20,6 +20,7 @@ from repro.lint.baseline import (
     discover_baseline,
     load_baseline,
     render_baseline,
+    stale_entries,
 )
 from repro.lint.pragmas import parse_pragmas
 from repro.lint.rules import Finding, make_finding
@@ -42,6 +43,9 @@ class LintResult:
     pragma_suppressed: int = 0
     baseline_suppressed: int = 0
     baseline_path: Path | None = None
+    #: baseline entries whose quota exceeds the current finding count, as
+    #: ``(path, rule, allowed, actual)`` — candidates for ratcheting down
+    stale_baseline: list[tuple[str, str, int, int]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -53,7 +57,21 @@ class LintResult:
             f"{len(self.findings)} finding(s) in {self.files_checked} file(s) "
             f"({self.pragma_suppressed} pragma-waived, {self.baseline_suppressed} baselined)"
         )
+        if self.stale_baseline:
+            tail += f", {len(self.stale_baseline)} stale baseline entr{'y' if len(self.stale_baseline) == 1 else 'ies'}"
         return "\n".join(lines + [tail])
+
+    def stale_report(self) -> str:
+        """Human-readable listing of stale baseline entries."""
+        lines = [
+            f"stale baseline entry: {path} {rule} allows {quota}, only {actual} found"
+            for path, rule, quota, actual in self.stale_baseline
+        ]
+        lines.append(
+            "ratchet the baseline down with `repro lint --write-baseline` so fixed "
+            "findings cannot silently regress"
+        )
+        return "\n".join(lines)
 
 
 def _is_allowlisted(rel: str, allowlist: tuple[str, ...]) -> bool:
@@ -123,9 +141,11 @@ def lint_paths(
         result.pragma_suppressed += pragma_suppressed
         all_findings.extend(findings)
     if use_baseline:
-        reported, baselined = apply_baseline(sorted(all_findings), load_baseline(baseline))
+        allowed = load_baseline(baseline)
+        reported, baselined = apply_baseline(sorted(all_findings), allowed)
         result.findings = reported
         result.baseline_suppressed = baselined
+        result.stale_baseline = stale_entries(sorted(all_findings), allowed)
     else:
         result.findings = sorted(all_findings)
     return result
@@ -148,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
     parser.add_argument("--write-baseline", action="store_true", help="accept current findings into the baseline")
     parser.add_argument("--no-default-allowlist", action="store_true", help="also lint the charging/verification layers")
+    parser.add_argument(
+        "--fail-stale",
+        action="store_true",
+        help="error when a baseline entry allows more findings than currently exist, "
+        "forcing the baseline to ratchet down as findings are fixed",
+    )
     return parser
 
 
@@ -175,4 +201,7 @@ def _main(argv: list[str] | None) -> int:
         paths, baseline=args.baseline, use_baseline=not args.no_baseline, allowlist=allowlist
     )
     print(result.report())
+    if args.fail_stale and result.stale_baseline:
+        print(result.stale_report(), file=sys.stderr)
+        return 1
     return 0 if result.ok else 1

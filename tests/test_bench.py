@@ -1,0 +1,190 @@
+"""Tests for the accounting-engine benchmark harness (``repro bench``)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro import bench, cli
+from repro.bsp import BSPMachine
+from repro.bsp.counters import CounterArray
+
+
+def small_suite_results():
+    """A real (but tiny) suite run: one charging pass on each engine."""
+    machine_a = BSPMachine(16, engine="array")
+    machine_s = BSPMachine(16, engine="scalar")
+    report_a = bench.charging_workload(machine_a, 2)
+    report_s = bench.charging_workload(machine_s, 2)
+    return report_a, report_s
+
+
+class TestReportComparison:
+    def test_identical_reports_have_no_mismatches(self):
+        report_a, report_s = small_suite_results()
+        assert bench.report_mismatches(report_a, report_s) == []
+
+    def test_per_rank_arrays_cover_both_engines(self):
+        report_a, report_s = small_suite_results()
+        arrays_a = bench.per_rank_arrays(report_a)
+        arrays_s = bench.per_rank_arrays(report_s)
+        assert isinstance(report_a.per_rank, CounterArray)
+        assert not isinstance(report_s.per_rank, CounterArray)
+        assert set(arrays_a) == set(arrays_s)
+        for name, arr in arrays_a.items():
+            assert arr.shape == (16,), name
+
+    def test_drift_is_reported_with_rank(self):
+        _, report_s = small_suite_results()
+        machine = BSPMachine(16, engine="array")
+        bench.charging_workload(machine, 2)
+        machine.counters.field_array("flops")[3] += 1.0
+        issues = bench.report_mismatches(machine.cost(), report_s)
+        assert any("rank 3" in issue for issue in issues)
+        assert any("flops" in issue for issue in issues)
+
+    def test_p_mismatch_short_circuits(self):
+        report_a, _ = small_suite_results()
+        other = BSPMachine(8, engine="array").cost()
+        assert bench.report_mismatches(report_a, other) == ["p differs: 16 != 8"]
+
+
+class TestBaselineCheck:
+    def fresh(self):
+        return {
+            "version": 1,
+            "pinned": bench.PINNED,
+            "cases": {
+                "charging_p512": {
+                    "wall_s": 0.015,
+                    "scalar_wall_s": 0.150,
+                    "speedup_vs_scalar": 10.0,
+                    "cost": {"flops": 100.0, "supersteps": 5},
+                },
+            },
+        }
+
+    def test_self_check_passes(self):
+        doc = self.fresh()
+        assert bench.check_against_baseline(doc, doc) == []
+
+    def test_cost_drift_fails(self):
+        doc, base = self.fresh(), self.fresh()
+        base["cases"]["charging_p512"]["cost"]["flops"] = 99.0
+        failures = bench.check_against_baseline(doc, base)
+        assert any("simulated-cost drift" in f for f in failures)
+
+    def test_wall_regression_fails(self):
+        doc, base = self.fresh(), self.fresh()
+        doc["cases"]["charging_p512"]["wall_s"] = 0.015 * 2.0  # well past 25% + slack
+        failures = bench.check_against_baseline(doc, base)
+        assert any("wall-clock regression" in f for f in failures)
+
+    def test_wall_gate_is_host_calibrated(self):
+        # 2x slower wall is fine when the scalar oracle also ran 2x slower
+        doc, base = self.fresh(), self.fresh()
+        doc["cases"]["charging_p512"]["wall_s"] = 0.030
+        doc["cases"]["charging_p512"]["scalar_wall_s"] = 0.300
+        assert bench.check_against_baseline(doc, base) == []
+
+    def test_speedup_floor_fails(self):
+        doc, base = self.fresh(), self.fresh()
+        doc["cases"]["charging_p512"]["speedup_vs_scalar"] = 2.0
+        failures = bench.check_against_baseline(doc, base)
+        assert any("floor" in f for f in failures)
+
+    def test_pinned_mismatch_fails(self):
+        doc, base = self.fresh(), copy.deepcopy(self.fresh())
+        base["pinned"] = {"charging": {"p": 64, "iters": 1}}
+        failures = bench.check_against_baseline(doc, base)
+        assert failures and "pinned" in failures[0]
+
+    def test_missing_case_fails(self):
+        doc, base = self.fresh(), self.fresh()
+        base["cases"] = {}
+        failures = bench.check_against_baseline(doc, base)
+        assert any("missing from baseline" in f for f in failures)
+
+
+class TestSuite:
+    def test_suite_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            bench.run_suite(repeats=0)
+
+    def test_charging_rank_charges_formula(self):
+        assert bench._charging_rank_charges(512, 100) == int(100 * 15.5 * 512)
+
+    def test_committed_baseline_matches_pinned_suite(self):
+        """The checked-in BENCH_engine.json was produced by *this* suite."""
+        from pathlib import Path
+
+        baseline_path = Path(__file__).resolve().parents[1] / bench.BASELINE_NAME
+        doc = bench.load_baseline(baseline_path)
+        assert doc["pinned"] == bench.PINNED
+        assert set(doc["cases"]) == set(bench.CASES)
+        charging = doc["cases"]["charging_p512"]
+        assert charging["speedup_vs_scalar"] >= bench.SPEEDUP_FLOOR
+
+    def test_load_baseline_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no benchmark baseline"):
+            bench.load_baseline(tmp_path / "nope.json")
+
+
+class TestCLI:
+    def test_bench_writes_and_checks(self, tmp_path, capsys, monkeypatch):
+        # Shrink the pinned suite so the CLI round-trip stays fast; the
+        # full pinned sizes run in benchmarks/bench_engine.py and CI.
+        small = {
+            "charging": {"p": 32, "iters": 3},
+            "eig": {"n": 24, "p": 4, "delta": 2.0 / 3.0, "seed": 3},
+        }
+        monkeypatch.setattr(bench, "PINNED", small)
+        out = tmp_path / "fresh.json"
+        baseline = tmp_path / "base.json"
+        assert cli.main(["bench", "--repeats", "1", "--out", str(baseline)]) == 0
+        assert (
+            cli.main(
+                ["bench", "--repeats", "1", "--out", str(out), "--check", str(baseline)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "baseline check passed" in captured.out
+        doc = json.loads(out.read_text())
+        assert set(doc["cases"]) == {"charging_p512", "eig_n96_p16"}
+
+    def test_bench_check_fails_on_drift(self, tmp_path, capsys, monkeypatch):
+        small = {
+            "charging": {"p": 32, "iters": 3},
+            "eig": {"n": 24, "p": 4, "delta": 2.0 / 3.0, "seed": 3},
+        }
+        monkeypatch.setattr(bench, "PINNED", small)
+        baseline = tmp_path / "base.json"
+        assert cli.main(["bench", "--repeats", "1", "--out", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["cases"]["charging_p512"]["cost"]["flops"] += 1.0
+        baseline.write_text(json.dumps(doc))
+        out = tmp_path / "fresh.json"
+        assert (
+            cli.main(
+                ["bench", "--repeats", "1", "--out", str(out), "--check", str(baseline)]
+            )
+            == 1
+        )
+        assert "simulated-cost drift" in capsys.readouterr().err
+
+    def test_bench_check_missing_baseline(self, tmp_path, capsys, monkeypatch):
+        small = {
+            "charging": {"p": 32, "iters": 3},
+            "eig": {"n": 24, "p": 4, "delta": 2.0 / 3.0, "seed": 3},
+        }
+        monkeypatch.setattr(bench, "PINNED", small)
+        out = tmp_path / "fresh.json"
+        missing = tmp_path / "gone.json"
+        assert (
+            cli.main(["bench", "--repeats", "1", "--out", str(out), "--check", str(missing)])
+            == 1
+        )
+        assert "no benchmark baseline" in capsys.readouterr().err

@@ -1,0 +1,288 @@
+"""Bit-identity of the vectorized and scalar accounting engines.
+
+The vectorized ``array`` engine (:class:`repro.bsp.counters.CounterArray`)
+must produce cost reports **bit-identical** to the pre-vectorization
+``scalar`` oracle (:class:`repro.bsp.scalar.ScalarCounterStore`) — per rank,
+not just in aggregate — for every charging path: collectives, batched entry
+points, sharded kernels, memory tracking, and a full eigensolver run.  Both
+engines receive the identical pre-computed charge values, so any difference
+is an engine bug, never float noise.
+
+Also covers the :class:`~repro.bsp.group.RankGroup` index/position caches
+the vectorized engine relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine, RankGroup, collectives
+from repro.bsp.counters import COUNTER_FIELDS, CounterArray, RankCounters
+from repro.bsp.kernels import sharded_axpy, sharded_dot, sharded_matvec
+from repro.bsp.scalar import ScalarCounterStore
+
+
+def both_machines(p: int, **kwargs) -> tuple[BSPMachine, BSPMachine]:
+    return BSPMachine(p, engine="array", **kwargs), BSPMachine(p, engine="scalar", **kwargs)
+
+
+def assert_identical(array_m: BSPMachine, scalar_m: BSPMachine) -> None:
+    """Reports and every per-rank counter must match bit-for-bit."""
+    ra, rs = array_m.cost(), scalar_m.cost()
+    for name in (
+        "p",
+        "flops",
+        "words",
+        "mem_traffic",
+        "supersteps",
+        "total_flops",
+        "total_words",
+        "total_mem_traffic",
+        "peak_memory_words",
+    ):
+        assert getattr(ra, name) == getattr(rs, name), name
+    for fname in COUNTER_FIELDS:
+        av = array_m.counters.field_array(fname)
+        sv = scalar_m.counters.field_array(fname)
+        assert np.array_equal(av, sv), f"per-rank {fname} differs"
+
+
+def run_on_both(p, workload, **kwargs):
+    ma, ms = both_machines(p, **kwargs)
+    workload(ma)
+    workload(ms)
+    assert_identical(ma, ms)
+    return ma, ms
+
+
+# ------------------------------------------------------------------ #
+# engine selection
+
+def test_engine_selection_and_store_types():
+    ma, ms = both_machines(4)
+    assert isinstance(ma.counters, CounterArray)
+    assert isinstance(ms.counters, ScalarCounterStore)
+    assert ma.engine == "array" and ms.engine == "scalar"
+
+
+def test_engine_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "scalar")
+    assert isinstance(BSPMachine(4).counters, ScalarCounterStore)
+    monkeypatch.delenv("REPRO_ENGINE")
+    assert isinstance(BSPMachine(4).counters, CounterArray)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown accounting engine"):
+        BSPMachine(4, engine="gpu")
+
+
+def test_counters_preserve_rankcounters_view():
+    ma, _ = both_machines(4)
+    ma.charge_flops(ma.world, 3.0)
+    slot = ma.counters[1]
+    assert slot.flops == 3.0
+    slot.flops = 7.0  # writable view, as tests and tools rely on
+    assert ma.counters.field_array("flops")[1] == 7.0
+    assert isinstance(ma.counters[0].copy(), RankCounters)
+    assert len(ma.counters) == 4
+    assert [s.flops for s in ma.counters] == [3.0, 7.0, 3.0, 3.0]
+
+
+# ------------------------------------------------------------------ #
+# collectives
+
+COLLECTIVE_CASES = [
+    lambda m: collectives.bcast(m, m.world, 144.0),
+    lambda m: collectives.bcast(m, m.world, 144.0, root=5),
+    lambda m: collectives.reduce(m, m.world, 80.0, root=3),
+    lambda m: collectives.allreduce(m, m.world, 96.0),
+    lambda m: collectives.reduce_scatter(m, m.world, 64.0),
+    lambda m: collectives.allgather(m, m.world, 12.0),
+    lambda m: collectives.gather(m, m.world, 10.0, root=2),
+    lambda m: collectives.scatter(m, m.world, 10.0, root=6),
+    lambda m: collectives.alltoall(
+        m, m.world, {(0, 1): 5.0, (1, 0): 3.0, (2, 7): 11.0, (3, 3): 9.0}
+    ),
+    lambda m: collectives.p2p(m, 0, 7, 42.0),
+]
+
+
+@pytest.mark.parametrize("workload", COLLECTIVE_CASES)
+def test_collectives_identical(workload):
+    run_on_both(8, workload)
+
+
+def test_collectives_on_subgroups_identical():
+    def workload(m):
+        for grp in m.world.split(4):
+            collectives.bcast(m, grp, 33.0)
+            collectives.allreduce(m, grp, 17.0)
+            collectives.reduce(m, grp, 9.0)
+        m.superstep(m.world)
+
+    run_on_both(16, workload)
+
+
+def test_alltoall_matrix_identical():
+    mat = np.fromfunction(lambda i, j: (3.0 * i + j) % 5.0, (8, 8))
+
+    def workload(m):
+        collectives.alltoall_matrix(m, m.world, mat)
+
+    ma, ms = run_on_both(8, workload)
+    # and it matches the dict-based alltoall of the same transfers
+    md = BSPMachine(8, engine="array")
+    transfers = {(i, j): float(mat[i, j]) for i in range(8) for j in range(8) if mat[i, j]}
+    collectives.alltoall(md, md.world, transfers)
+    assert md.cost().words == ma.cost().words
+    assert md.cost().supersteps == ma.cost().supersteps
+
+
+# ------------------------------------------------------------------ #
+# batched entry points
+
+def test_charge_flops_batch_identical():
+    weights = np.linspace(0.5, 4.0, 8)
+    run_on_both(8, lambda m: m.charge_flops_batch(m.world, weights))
+
+
+def test_charge_comm_batch_scalar_and_array_identical():
+    sends = np.arange(8, dtype=np.float64)
+
+    def workload(m):
+        m.charge_comm_batch(m.world, 6.0, 6.0)
+        m.charge_comm_batch(m.world, sends, sends[::-1].copy())
+        m.charge_comm_batch(m.world, None, 2.0)
+
+    run_on_both(8, workload)
+
+
+def test_charge_comm_matrix_identical():
+    mat = np.fromfunction(lambda i, j: np.abs(i - j) * 1.5, (6, 6))
+    run_on_both(8, lambda m: m.charge_comm_matrix(m.world.take(6), mat))
+
+
+def test_duplicate_rank_iterables_accumulate_identically():
+    # Arbitrary iterables may repeat ranks; both engines must double-charge.
+    def workload(m):
+        m.charge_flops([0, 1, 1, 2, 0], 2.0)
+        m.mem_stream_group([3, 3, 3], 1.5)
+        m.superstep([0, 0, 1])
+        m.add_memory([2, 2], 10.0)
+        m.release_memory([2, 2], 4.0)
+
+    ma, _ = run_on_both(4, workload)
+    assert ma.counters.field_array("flops")[1] == 4.0
+    assert ma.counters.field_array("mem_traffic")[3] == 4.5
+    assert ma.counters.field_array("supersteps")[0] == 2
+
+
+def test_memory_tracking_identical():
+    def workload(m):
+        m.note_memory(m.world, 50.0)
+        m.add_memory(m.world.take(2), 30.0)
+        m.release_memory(1, 100.0)  # clamps at zero
+        m.note_memory(3, 10.0)  # below current peak: no effect
+
+    ma, _ = run_on_both(4, workload)
+    peaks = ma.counters.field_array("peak_memory_words")
+    assert peaks[0] == 80.0 and peaks[3] == 50.0
+    assert ma.counters.field_array("current_memory_words")[1] == 0.0
+
+
+def test_cache_traffic_identical():
+    def workload(m):
+        for r in range(m.p):
+            m.mem_read(r, "A", 100.0)
+            m.mem_read(r, "A", 100.0)  # hit: free
+            m.mem_write(r, "B", 40.0)
+        m.mem_stream_group(m.world, 7.0)
+
+    run_on_both(4, workload)
+
+
+# ------------------------------------------------------------------ #
+# sharded kernels and the full driver
+
+def test_sharded_kernels_identical(rng):
+    x = rng.standard_normal(64)
+    y = rng.standard_normal(64)
+    a = rng.standard_normal((64, 64))
+
+    def workload(m):
+        sharded_matvec(m, m.world, a, x)
+        sharded_dot(m, m.world, x, y)
+        sharded_axpy(m, m.world, 1.5, x, y.copy())
+
+    run_on_both(8, workload)
+
+
+def test_full_driver_identical():
+    from repro.eig import eigensolve_2p5d
+    from repro.util.matrices import random_symmetric
+
+    a = random_symmetric(48, seed=7)
+
+    def workload(m):
+        eigensolve_2p5d(m, a.copy(), delta=2.0 / 3.0)
+
+    run_on_both(16, workload)
+
+
+def test_report_subtraction_identical():
+    def run(engine):
+        m = BSPMachine(8, engine=engine)
+        collectives.allreduce(m, m.world, 64.0)
+        before = m.cost()
+        collectives.bcast(m, m.world, 32.0)
+        m.charge_flops(m.world, 5.0)
+        return m.cost() - before
+
+    da, ds = run("array"), run("scalar")
+    for name in ("flops", "words", "mem_traffic", "supersteps", "total_flops", "total_words"):
+        assert getattr(da, name) == getattr(ds, name), name
+
+
+# ------------------------------------------------------------------ #
+# RankGroup caching
+
+def test_rankgroup_indices_cached_and_readonly():
+    g = RankGroup((3, 1, 4, 1 + 4))
+    idx = g.indices()
+    assert idx is g.indices()  # memoized: same object every call
+    assert idx.dtype == np.int64
+    assert idx.tolist() == [3, 1, 4, 5]
+    with pytest.raises(ValueError):
+        idx[0] = 0  # read-only
+
+
+def test_rankgroup_min_max_cached():
+    g = RankGroup((9, 2, 7))
+    assert g.min_rank == 2 and g.max_rank == 9
+    assert g.__dict__["_min_rank"] == 2  # cached alongside indices()
+
+
+def test_rankgroup_positions():
+    g = RankGroup((5, 0, 2))
+    assert 0 in g and 3 not in g
+    assert g.index_of(2) == 2
+    with pytest.raises(ValueError, match="not in group"):
+        g.index_of(7)
+
+
+def test_rankgroup_split_groups_cache_independently():
+    g = RankGroup.contiguous(0, 8)
+    parts = g.split(2)
+    assert parts[0].indices().tolist() == [0, 1, 2, 3]
+    assert parts[1].indices().tolist() == [4, 5, 6, 7]
+    assert parts[0].indices() is not g.indices()
+
+
+def test_machine_group_bounds_check_uses_cache():
+    m = BSPMachine(4)
+    with pytest.raises(ValueError, match="out of range"):
+        m.charge_flops(RankGroup((0, 4)), 1.0)
+    with pytest.raises(ValueError, match="out of range"):
+        m.charge_flops(RankGroup((-1, 0)), 1.0)

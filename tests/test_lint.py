@@ -21,7 +21,7 @@ from repro.lint import (
     lint_paths,
     parse_pragmas,
 )
-from repro.lint.baseline import discover_baseline, parse_baseline, render_baseline
+from repro.lint.baseline import discover_baseline, parse_baseline, render_baseline, stale_entries
 from repro.lint.rules import RULES, make_finding
 from repro.lint.runner import main as lint_main
 
@@ -159,6 +159,30 @@ class TestBaseline:
     def test_discover_walks_up_to_repo_baseline(self):
         assert discover_baseline(FIXTURES) == REPO_ROOT / BASELINE_NAME
 
+    def test_stale_entries_detected(self):
+        findings = [make_finding("a.py", 1, 0, "REPRO001", "x")]
+        allowed = {("a.py", "REPRO001"): 3, ("b.py", "REPRO002"): 1}
+        assert stale_entries(findings, allowed) == [
+            ("a.py", "REPRO001", 3, 1),
+            ("b.py", "REPRO002", 1, 0),
+        ]
+
+    def test_exact_quota_is_not_stale(self):
+        findings = [make_finding("a.py", i, 0, "REPRO001", "x") for i in (1, 2)]
+        assert stale_entries(findings, {("a.py", "REPRO001"): 2}) == []
+
+    def test_lint_paths_reports_stale_baseline(self, tmp_path):
+        work = tmp_path / "pkg"
+        work.mkdir()
+        shutil.copy(FIXTURES / "viol_matmul.py", work / "leaky.py")
+        baseline = tmp_path / BASELINE_NAME
+        baseline.write_text("pkg/leaky.py REPRO001 9\n")
+        result = lint_paths([work], baseline=baseline)
+        assert result.ok  # within quota: findings all suppressed
+        assert result.stale_baseline == [("pkg/leaky.py", "REPRO001", 9, 2)]
+        assert "stale baseline entry" in result.report()
+        assert "ratchet" in result.stale_report()
+
 
 class TestTree:
     def test_shipped_tree_lints_clean_against_baseline(self):
@@ -201,4 +225,24 @@ class TestCLI:
         assert lint_main([str(work), "--write-baseline", "--baseline", str(baseline)]) == 0
         assert parse_baseline(baseline.read_text()) == {("pkg/leaky.py", "REPRO001"): 2}
         assert lint_main([str(work), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_fail_stale_ratchets_inflated_baseline(self, tmp_path, capsys):
+        work = tmp_path / "pkg"
+        work.mkdir()
+        shutil.copy(FIXTURES / "viol_matmul.py", work / "leaky.py")
+        baseline = tmp_path / BASELINE_NAME
+        baseline.write_text("pkg/leaky.py REPRO001 9\n")
+        # inflated quota passes without the flag but fails with it
+        assert lint_main([str(work), "--baseline", str(baseline)]) == 0
+        assert lint_main([str(work), "--baseline", str(baseline), "--fail-stale"]) == 1
+        assert "stale baseline entry" in capsys.readouterr().err
+        # after regenerating, --fail-stale is clean again
+        assert lint_main([str(work), "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert lint_main([str(work), "--baseline", str(baseline), "--fail-stale"]) == 0
+        capsys.readouterr()
+
+    def test_fail_stale_passes_on_shipped_tree(self, capsys):
+        # the committed baseline must stay fully ratcheted (CI runs this flag)
+        assert cli.main(["lint", "--fail-stale"]) == 0
         capsys.readouterr()
