@@ -33,8 +33,12 @@ rank, not just in aggregate) or the run fails.  Results go to
   accounting change that must be recommitted deliberately);
 * a >25% wall-clock regression, after rescaling the committed wall numbers
   by the scalar oracle's wall ratio on this host (the oracle acts as the
-  hardware calibrator, so the gate is portable across machines); tolerance
-  is overridable with ``REPRO_BENCH_WALL_TOL``;
+  hardware calibrator, so the gate is portable across machines); the
+  envelope is overridable with ``REPRO_BENCH_ENVELOPE`` (legacy alias
+  ``REPRO_BENCH_WALL_TOL``), and a run whose *only* failures are wall
+  regressions is re-timed up to ``REPRO_BENCH_RETRIES`` times
+  (best-of-k) before failing, so a loaded CI host doesn't flake the gate —
+  cost drift and speedup-floor violations are never retried;
 * charging-suite speedup below the 3× floor the vectorized engine must
   maintain over the scalar oracle at p ≥ 256.
 """
@@ -65,8 +69,17 @@ PINNED: dict[str, dict[str, Any]] = {
     "eig": {"n": 96, "p": 16, "delta": 2.0 / 3.0, "seed": 3},
 }
 
-#: >25% wall regression fails --check (env-overridable for noisy hosts)
-WALL_TOLERANCE = float(os.environ.get("REPRO_BENCH_WALL_TOL", "1.25"))
+#: >25% wall regression fails --check (env-overridable for noisy hosts;
+#: REPRO_BENCH_ENVELOPE is the documented name, REPRO_BENCH_WALL_TOL the
+#: legacy alias)
+WALL_TOLERANCE = float(
+    os.environ.get("REPRO_BENCH_ENVELOPE")
+    or os.environ.get("REPRO_BENCH_WALL_TOL")
+    or "1.25"
+)
+
+#: wall-only gate failures are re-timed this many times before failing
+WALL_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "2"))
 
 #: minimum charging-suite speedup of array over scalar engine (p >= 256)
 SPEEDUP_FLOOR = 3.0
@@ -309,6 +322,43 @@ def check_against_baseline(
                 f"{entry['speedup_vs_scalar']:.2f}x (< {SPEEDUP_FLOOR:.0f}x floor)"
             )
     return failures
+
+
+def check_with_retries(
+    results: dict[str, Any],
+    baseline: dict[str, Any],
+    rerun: Callable[[], dict[str, Any]],
+    wall_tolerance: float = WALL_TOLERANCE,
+    retries: int = WALL_RETRIES,
+    log: Callable[[str], None] = print,
+) -> tuple[dict[str, Any], list[str]]:
+    """Gate with best-of-k retries for *wall-only* failures.
+
+    Wall-clock on a loaded CI host is the one non-deterministic gate input;
+    when every failure from :func:`check_against_baseline` is a wall-clock
+    regression, the suite is re-timed (via ``rerun``) up to ``retries``
+    times and the gate re-evaluated.  Any simulated-cost drift or
+    speedup-floor violation short-circuits immediately — those are
+    deterministic and a retry would only mask a real regression.
+
+    Returns ``(results, failures)`` where ``results`` is the run the final
+    verdict was computed from.
+    """
+    failures = check_against_baseline(results, baseline, wall_tolerance)
+    attempt = 0
+    while (
+        failures
+        and attempt < retries
+        and all("wall-clock regression" in f for f in failures)
+    ):
+        attempt += 1
+        log(
+            f"wall envelope exceeded (attempt {attempt}/{retries}); "
+            "re-timing the suite..."
+        )
+        results = rerun()
+        failures = check_against_baseline(results, baseline, wall_tolerance)
+    return results, failures
 
 
 def render_results(results: dict[str, Any]) -> str:

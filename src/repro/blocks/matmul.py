@@ -136,8 +136,9 @@ def carma_matmul(
         raise ValueError("memory_words must be positive")
     m, n = a.shape
     k = b.shape[1]
-    if charge_redistribution and group.size > 1:
-        per_rank = (m * n + n * k) / group.size
-        machine.charge_comm_batch(group, per_rank, per_rank)
-        machine.superstep(group, 1)
-    return _rec(machine, a, b, group, memory_words, tag)
+    with machine.span("carma", group=group):
+        if charge_redistribution and group.size > 1:
+            per_rank = (m * n + n * k) / group.size
+            machine.charge_comm_batch(group, per_rank, per_rank)
+            machine.superstep(group, 1)
+        return _rec(machine, a, b, group, memory_words, tag)

@@ -112,9 +112,10 @@ def rect_qr(
     machine.check_group(group)
     if qmax is None:
         qmax = default_qmax(group.size, m, n, delta)
-    if charge_redistribution and group.size > 1:
-        per_rank = m * n / group.size
-        machine.charge_comm_batch(group, per_rank, per_rank)
-        machine.superstep(group, 1)
-    q_thin, r = _rect_qr_thin(machine, group, a, qmax, delta, base25d, tag)
-    return reconstruct_householder(machine, group, q_thin, r, tag=tag)
+    with machine.span("rect_qr", group=group):
+        if charge_redistribution and group.size > 1:
+            per_rank = m * n / group.size
+            machine.charge_comm_batch(group, per_rank, per_rank)
+            machine.superstep(group, 1)
+        q_thin, r = _rect_qr_thin(machine, group, a, qmax, delta, base25d, tag)
+        return reconstruct_householder(machine, group, q_thin, r, tag=tag)

@@ -62,25 +62,26 @@ def square_qr(
 
     u = np.zeros((m, n))
     t = np.zeros((n, n))
-    for j0 in range(0, n, panel):
-        j1 = min(j0 + panel, n)
-        nb = j1 - j0
-        # Panel QR by TSQR on the group (rank count self-limits to rows/nb).
-        up, tp, rp = tsqr(machine, group, a[j0:, j0:j1], tag=f"{tag}:panel{j0}")
-        a[j0 : j0 + nb, j0:j1] = rp
-        a[j0 + nb :, j0:j1] = 0.0
-        # Trailing update A[j0:, j1:] ← Qᵀ A[j0:, j1:]: two thin products,
-        # charged as group-distributed matmuls.
-        if j1 < n:
-            _charged_trailing_update(machine, group, m - j0, nb, n - j1)
-            a[j0:, j1:] = apply_block_reflector_left(up, tp, a[j0:, j1:], transpose=True)
-        # Merge the panel reflectors into the aggregated (U, T).
-        u[j0:, j0:j1] = up
-        if j0 > 0:
-            cross = u[j0:, :j0].T @ up  # cost: free(charged via matmul_flops two lines below)
-            t[:j0, j0:j1] = -t[:j0, :j0] @ cross @ tp  # cost: free(lower-order T-merge; dominant product charged below)
-            machine.charge_flops(group, matmul_flops(j0, m - j0, nb) / g)
-        t[j0:j1, j0:j1] = tp
+    with machine.span("square_qr", group=group):
+        for j0 in range(0, n, panel):
+            j1 = min(j0 + panel, n)
+            nb = j1 - j0
+            # Panel QR by TSQR on the group (rank count self-limits to rows/nb).
+            up, tp, rp = tsqr(machine, group, a[j0:, j0:j1], tag=f"{tag}:panel{j0}")
+            a[j0 : j0 + nb, j0:j1] = rp
+            a[j0 + nb :, j0:j1] = 0.0
+            # Trailing update A[j0:, j1:] ← Qᵀ A[j0:, j1:]: two thin products,
+            # charged as group-distributed matmuls.
+            if j1 < n:
+                _charged_trailing_update(machine, group, m - j0, nb, n - j1)
+                a[j0:, j1:] = apply_block_reflector_left(up, tp, a[j0:, j1:], transpose=True)
+            # Merge the panel reflectors into the aggregated (U, T).
+            u[j0:, j0:j1] = up
+            if j0 > 0:
+                cross = u[j0:, :j0].T @ up  # cost: free(charged via matmul_flops two lines below)
+                t[:j0, j0:j1] = -t[:j0, :j0] @ cross @ tp  # cost: free(lower-order T-merge; dominant product charged below)
+                machine.charge_flops(group, matmul_flops(j0, m - j0, nb) / g)
+            t[j0:j1, j0:j1] = tp
     r = np.triu(a[:n, :])
     machine.trace.record("square_qr", group.ranks, flops=2.0 * m * n * n, tag=tag)
     return u, t, r

@@ -81,45 +81,46 @@ def square_qr_25d(
         pdelta = grid.size**delta
         panel = max(1, int(np.ceil(n / pdelta)))
 
-    # Replicate A onto every layer (one fiber allgather).
-    share = float(m * n) / (q * q)
-    machine.charge_comm_batch(ggroup, share, share)
-    machine.superstep(ggroup, 1)
-    machine.note_memory(ggroup, 2 * share)
-
-    u = np.zeros((m, n))
-    t = np.zeros((n, n))
-    for j0 in range(0, n, panel):
-        j1 = min(j0 + panel, n)
-        nb = j1 - j0
-        if j0:
-            # Left-looking update of the FULL column block (its top j0 rows
-            # become the R block): col ← col − U·(Tᵀ·(Uᵀ·col)), with the
-            # aggregate U replicated (two streaming products + a small one).
-            col = a[:, j0:j1]
-            u_prev = u[:, :j0]
-            w1 = streaming_matmul(machine, grid, u_prev.T, col, a_key=(tag, "U"), tag=f"{tag}:upd")
-            w2 = t[:j0, :j0].T @ w1  # cost: free(charged via charge_flops on the next line)
-            machine.charge_flops(ggroup, 2.0 * j0 * j0 * nb / grid.size)
-            a[:, j0:j1] = col - streaming_matmul(
-                machine, grid, u_prev, w2, a_key=(tag, "U"), tag=f"{tag}:upd"
-            )
-        pan = a[j0:, j0:j1].copy()
-        # Panel factorization: TSQR + reconstruction on the whole grid group.
-        up, tp, rp = tsqr(machine, ggroup, pan, tag=f"{tag}:panel{j0}")
-        a[j0 : j0 + nb, j0:j1] = rp
-        a[j0 + nb :, j0:j1] = 0.0
-        # Merge into the aggregate: T12 = −T11 (U_prevᵀ U_p) T22.
-        u[j0:, j0:j1] = up
-        if j0:
-            cross = u[j0:, :j0].T @ up  # cost: free(charged via charge_flops on the next line)
-            machine.charge_flops(ggroup, 2.0 * j0 * (m - j0) * nb / grid.size)
-            t[:j0, j0:j1] = -t[:j0, :j0] @ cross @ tp  # cost: free(lower-order T-merge; dominant product charged above)
-        t[j0:j1, j0:j1] = tp
-        # Replicate the new panel of U over the layers.
-        rep = float(up.size) / (q * q)
-        machine.charge_comm_batch(ggroup, rep, rep)
+    with machine.span("sqr25d", group=ggroup):
+        # Replicate A onto every layer (one fiber allgather).
+        share = float(m * n) / (q * q)
+        machine.charge_comm_batch(ggroup, share, share)
         machine.superstep(ggroup, 1)
+        machine.note_memory(ggroup, 2 * share)
+
+        u = np.zeros((m, n))
+        t = np.zeros((n, n))
+        for j0 in range(0, n, panel):
+            j1 = min(j0 + panel, n)
+            nb = j1 - j0
+            if j0:
+                # Left-looking update of the FULL column block (its top j0 rows
+                # become the R block): col ← col − U·(Tᵀ·(Uᵀ·col)), with the
+                # aggregate U replicated (two streaming products + a small one).
+                col = a[:, j0:j1]
+                u_prev = u[:, :j0]
+                w1 = streaming_matmul(machine, grid, u_prev.T, col, a_key=(tag, "U"), tag=f"{tag}:upd")
+                w2 = t[:j0, :j0].T @ w1  # cost: free(charged via charge_flops on the next line)
+                machine.charge_flops(ggroup, 2.0 * j0 * j0 * nb / grid.size)
+                a[:, j0:j1] = col - streaming_matmul(
+                    machine, grid, u_prev, w2, a_key=(tag, "U"), tag=f"{tag}:upd"
+                )
+            pan = a[j0:, j0:j1].copy()
+            # Panel factorization: TSQR + reconstruction on the whole grid group.
+            up, tp, rp = tsqr(machine, ggroup, pan, tag=f"{tag}:panel{j0}")
+            a[j0 : j0 + nb, j0:j1] = rp
+            a[j0 + nb :, j0:j1] = 0.0
+            # Merge into the aggregate: T12 = −T11 (U_prevᵀ U_p) T22.
+            u[j0:, j0:j1] = up
+            if j0:
+                cross = u[j0:, :j0].T @ up  # cost: free(charged via charge_flops on the next line)
+                machine.charge_flops(ggroup, 2.0 * j0 * (m - j0) * nb / grid.size)
+                t[:j0, j0:j1] = -t[:j0, :j0] @ cross @ tp  # cost: free(lower-order T-merge; dominant product charged above)
+            t[j0:j1, j0:j1] = tp
+            # Replicate the new panel of U over the layers.
+            rep = float(up.size) / (q * q)
+            machine.charge_comm_batch(ggroup, rep, rep)
+            machine.superstep(ggroup, 1)
     r = np.triu(a[:n, :])
     machine.trace.record("square_qr_25d", ggroup.ranks, flops=2.0 * m * n * n, tag=tag)
     return u, t, r

@@ -61,42 +61,43 @@ def streaming_matmul(
     p = grid.size
     group = grid.group()
 
-    # Line 4: redistribute B so each rank owns its k/(z·q) column slivers.
-    if charge_b_redistribution and p > 1:
-        per_rank = n * k / p
-        machine.charge_comm_batch(group, per_rank, per_rank)
-        machine.superstep(group, 1)
-        machine.trace.record("streaming_b_redist", group.ranks, words=float(n * k), tag=tag)
+    with machine.span("streaming_mm", group=group):
+        # Line 4: redistribute B so each rank owns its k/(z·q) column slivers.
+        if charge_b_redistribution and p > 1:
+            per_rank = n * k / p
+            machine.charge_comm_batch(group, per_rank, per_rank)
+            machine.superstep(group, 1)
+            machine.trace.record("streaming_b_redist", group.ranks, words=float(n * k), tag=tag)
 
-    # The numerical product (identical to the sum of the per-fiber partials).
-    c_out = a @ b  # cost: free(numerical product computed once; flops charged per pipeline stage below)
+        # The numerical product (identical to the sum of the per-fiber partials).
+        c_out = a @ b  # cost: free(numerical product computed once; flops charged per pipeline stage below)
 
-    blk_m = -(-m // q)  # rows of Aij and of the C_ih partial
-    blk_n = -(-n // q)  # cols of Aij / rows of B_jh
-    blk_k = -(-k // z)  # cols of B_jh
-    a_block_words = float(blk_m * blk_n)
-    b_block_words = float(blk_n * blk_k)
-    c_block_words = float(blk_m * blk_k)
+        blk_m = -(-m // q)  # rows of Aij and of the C_ih partial
+        blk_n = -(-n // q)  # cols of Aij / rows of B_jh
+        blk_k = -(-k // z)  # cols of B_jh
+        a_block_words = float(blk_m * blk_n)
+        b_block_words = float(blk_n * blk_k)
+        c_block_words = float(blk_m * blk_k)
 
-    for h in range(w):
-        # Line 9: gather B_jh onto each rank (recv one block; by symmetry the
-        # send side of all concurrent gathers is the same volume per rank).
-        machine.charge_comm_batch(group, b_block_words, b_block_words)
-        # Line 10: local multiply against the resident A block.
-        machine.charge_flops(group, 2.0 * blk_m * blk_n * blk_k)
-        for idx, rank in enumerate(group):
-            if a_key is not None:
-                machine.mem_read(rank, (a_key, idx), a_block_words)
-            else:
-                machine.mem_stream(rank, a_block_words)
-            machine.mem_stream(rank, b_block_words + c_block_words)
-        # Line 11: reduce-scatter C_ih = Σ_j C̄_ijh across the grid row
-        # (q participants — this is the j-summation of Algorithm III.1).
-        if q > 1:
-            rs = c_block_words * (q - 1) / q
-            machine.charge_comm_batch(group, rs, rs)
-            machine.charge_flops(group, rs)
-        machine.superstep(group, 2)
+        for h in range(w):
+            # Line 9: gather B_jh onto each rank (recv one block; by symmetry the
+            # send side of all concurrent gathers is the same volume per rank).
+            machine.charge_comm_batch(group, b_block_words, b_block_words)
+            # Line 10: local multiply against the resident A block.
+            machine.charge_flops(group, 2.0 * blk_m * blk_n * blk_k)
+            for idx, rank in enumerate(group):
+                if a_key is not None:
+                    machine.mem_read(rank, (a_key, idx), a_block_words)
+                else:
+                    machine.mem_stream(rank, a_block_words)
+                machine.mem_stream(rank, b_block_words + c_block_words)
+            # Line 11: reduce-scatter C_ih = Σ_j C̄_ijh across the grid row
+            # (q participants — this is the j-summation of Algorithm III.1).
+            if q > 1:
+                rs = c_block_words * (q - 1) / q
+                machine.charge_comm_batch(group, rs, rs)
+                machine.charge_flops(group, rs)
+            machine.superstep(group, 2)
     machine.trace.record(
         "streaming_mm", group.ranks, words=float(m * k + n * k), flops=2.0 * m * n * k, tag=tag
     )

@@ -58,13 +58,14 @@ def summa_matmul(
     # an nb×(k/q) sliver of B (column broadcast); multiply into local C.
     a_sliver = (m / q) * panel
     b_sliver = panel * (k / q)
-    for _ in range(steps):
-        per_rank = 2.0 * (a_sliver + b_sliver) * (q - 1) / q
-        machine.charge_comm_batch(group, per_rank, per_rank)
-        machine.charge_flops(group, 2.0 * (m / q) * panel * (k / q))
-        for r in group:
-            machine.mem_stream(r, a_sliver + b_sliver + (m / q) * (k / q))
-        machine.superstep(group, 2)
-    machine.note_memory(group, (m * n + n * k + m * k) / p + a_sliver + b_sliver)
+    with machine.span("summa", group=group):
+        for _ in range(steps):
+            per_rank = 2.0 * (a_sliver + b_sliver) * (q - 1) / q
+            machine.charge_comm_batch(group, per_rank, per_rank)
+            machine.charge_flops(group, 2.0 * (m / q) * panel * (k / q))
+            for r in group:
+                machine.mem_stream(r, a_sliver + b_sliver + (m / q) * (k / q))
+            machine.superstep(group, 2)
+        machine.note_memory(group, (m * n + n * k + m * k) / p + a_sliver + b_sliver)
     machine.trace.record("summa", group.ranks, words=float(m * n + n * k), flops=2.0 * m * n * k, tag=tag)
     return c

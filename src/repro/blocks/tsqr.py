@@ -44,14 +44,15 @@ def reconstruct_householder(
     u, t, s = householder_reconstruct(q_thin)
     r_signed = s[:, None] * r
     g = group.size
-    machine.charge_flops(group, 4.0 * m * n * n / g + (2.0 / 3.0) * n**3 / g)
-    if g > 1:
-        # Q's rows never move: the LU runs on the n×n top block and each
-        # rank forms its rows of U = Y·W₁⁻¹ locally after a W₁ broadcast.
-        per_rank = n * n / np.sqrt(g)
-        machine.charge_comm_batch(group, per_rank, per_rank)
-        machine.superstep(group, max(1, int(np.ceil(np.log2(g)))))
-    machine.mem_stream(group[0], float(u.size + t.size))
+    with machine.span("reconstruct", group=group):
+        machine.charge_flops(group, 4.0 * m * n * n / g + (2.0 / 3.0) * n**3 / g)
+        if g > 1:
+            # Q's rows never move: the LU runs on the n×n top block and each
+            # rank forms its rows of U = Y·W₁⁻¹ locally after a W₁ broadcast.
+            per_rank = n * n / np.sqrt(g)
+            machine.charge_comm_batch(group, per_rank, per_rank)
+            machine.superstep(group, max(1, int(np.ceil(np.log2(g)))))
+        machine.mem_stream(group[0], float(u.size + t.size))
     machine.trace.record("reconstruct", group.ranks, flops=4.0 * m * n * n, tag=tag)
     return u, t, r_signed
 
@@ -75,81 +76,82 @@ def tsqr_thin(
     p_eff = max(1, min(group.size, m // n))
     grp = group.take(p_eff)
 
-    if p_eff == 1:
-        rank = grp[0]
-        u, t, r = compact_wy_qr(a)
-        machine.charge_flops(rank, qr_flops(m, n))
-        machine.mem_stream(rank, float(a.size + u.size + r.size))
-        return expand_q(u, t), r
+    with machine.span("tsqr", group=grp):
+        if p_eff == 1:
+            rank = grp[0]
+            u, t, r = compact_wy_qr(a)
+            machine.charge_flops(rank, qr_flops(m, n))
+            machine.mem_stream(rank, float(a.size + u.size + r.size))
+            return expand_q(u, t), r
 
-    sizes = split_evenly(m, p_eff)
-    offs = chunk_offsets(sizes)
-    # Leaf QRs (concurrent; each rank factors its block).
-    leaf_q: list[np.ndarray] = []
-    rs: list[np.ndarray] = []
-    for idx, (o, sz) in enumerate(zip(offs, sizes)):
-        rank = grp[idx]
-        u, t, r = compact_wy_qr(a[o : o + sz, :])
-        machine.charge_flops(rank, qr_flops(sz, n))
-        machine.mem_stream(rank, float(sz * n + n * n))
-        leaf_q.append(expand_q(u, t))
-        rs.append(r)
-    machine.superstep(grp, 1)
-
-    # Reduction tree: node owners are the even-index ranks of each level.
-    tri_words = float(n * (n + 1) // 2)
-    nodes: list[tuple[np.ndarray, int]] = [(r, i) for i, r in enumerate(rs)]  # (R, owner idx)
-    tree_qs: list[list[np.ndarray | None]] = []
-    while len(nodes) > 1:
-        nxt: list[tuple[np.ndarray, int]] = []
-        level_qs: list[np.ndarray | None] = []
-        for k in range(0, len(nodes) - 1, 2):
-            (ra, ia), (rb, ib) = nodes[k], nodes[k + 1]
-            machine.charge_comm(sends={grp[ib]: tri_words}, recvs={grp[ia]: tri_words})
-            stacked = np.vstack([ra, rb])
-            u, t, r = compact_wy_qr(stacked)
-            machine.charge_flops(grp[ia], qr_flops(2 * n, n))
-            machine.mem_stream(grp[ia], float(3 * n * n))
-            level_qs.append(expand_q(u, t))
-            nxt.append((r, ia))
-        if len(nodes) % 2:
-            nxt.append(nodes[-1])
-            level_qs.append(None)
+        sizes = split_evenly(m, p_eff)
+        offs = chunk_offsets(sizes)
+        # Leaf QRs (concurrent; each rank factors its block).
+        leaf_q: list[np.ndarray] = []
+        rs: list[np.ndarray] = []
+        for idx, (o, sz) in enumerate(zip(offs, sizes)):
+            rank = grp[idx]
+            u, t, r = compact_wy_qr(a[o : o + sz, :])
+            machine.charge_flops(rank, qr_flops(sz, n))
+            machine.mem_stream(rank, float(sz * n + n * n))
+            leaf_q.append(expand_q(u, t))
+            rs.append(r)
         machine.superstep(grp, 1)
-        tree_qs.append(level_qs)
-        nodes = nxt
 
-    r_final = nodes[0][0]
+        # Reduction tree: node owners are the even-index ranks of each level.
+        tri_words = float(n * (n + 1) // 2)
+        nodes: list[tuple[np.ndarray, int]] = [(r, i) for i, r in enumerate(rs)]  # (R, owner idx)
+        tree_qs: list[list[np.ndarray | None]] = []
+        while len(nodes) > 1:
+            nxt: list[tuple[np.ndarray, int]] = []
+            level_qs: list[np.ndarray | None] = []
+            for k in range(0, len(nodes) - 1, 2):
+                (ra, ia), (rb, ib) = nodes[k], nodes[k + 1]
+                machine.charge_comm(sends={grp[ib]: tri_words}, recvs={grp[ia]: tri_words})
+                stacked = np.vstack([ra, rb])
+                u, t, r = compact_wy_qr(stacked)
+                machine.charge_flops(grp[ia], qr_flops(2 * n, n))
+                machine.mem_stream(grp[ia], float(3 * n * n))
+                level_qs.append(expand_q(u, t))
+                nxt.append((r, ia))
+            if len(nodes) % 2:
+                nxt.append(nodes[-1])
+                level_qs.append(None)
+            machine.superstep(grp, 1)
+            tree_qs.append(level_qs)
+            nodes = nxt
 
-    # Downward pass: expand the implicit Q.  Each edge sends one n×n block
-    # back to the child owner; leaves then form Q_leaf · Z locally.
-    zs: list[np.ndarray] = [np.eye(n)]
-    for level_qs in reversed(tree_qs):
-        new_zs: list[np.ndarray] = []
-        zi = 0
-        for qnode in level_qs:
-            if qnode is None:
-                new_zs.append(zs[zi])
-            else:
-                z = zs[zi]
-                prod = qnode @ z  # cost: free(explicit-Q expansion is simulation-only; Lemma III.4 charges the implicit tree QR)
-                new_zs.append(prod[:n, :])
-                new_zs.append(prod[n:, :])
-            zi += 1
-        zs = new_zs
-    # Communication of the downward pass: one n×n block per tree edge,
-    # charged uniformly (each rank touches O(1) edges per level).
-    if p_eff > 1:
-        per_rank = float(n * n)
-        machine.charge_comm_batch(grp, per_rank, per_rank)
-        machine.superstep(grp, max(1, int(np.ceil(np.log2(p_eff)))))
+        r_final = nodes[0][0]
 
-    q_blocks = []
-    for idx, (qleaf, z) in enumerate(zip(leaf_q, zs)):
-        rank = grp[idx]
-        q_blocks.append(local_matmul(machine, rank, qleaf, z))
-    machine.superstep(grp, 1)
-    q_thin = np.vstack(q_blocks)
+        # Downward pass: expand the implicit Q.  Each edge sends one n×n block
+        # back to the child owner; leaves then form Q_leaf · Z locally.
+        zs: list[np.ndarray] = [np.eye(n)]
+        for level_qs in reversed(tree_qs):
+            new_zs: list[np.ndarray] = []
+            zi = 0
+            for qnode in level_qs:
+                if qnode is None:
+                    new_zs.append(zs[zi])
+                else:
+                    z = zs[zi]
+                    prod = qnode @ z  # cost: free(explicit-Q expansion is simulation-only; Lemma III.4 charges the implicit tree QR)
+                    new_zs.append(prod[:n, :])
+                    new_zs.append(prod[n:, :])
+                zi += 1
+            zs = new_zs
+        # Communication of the downward pass: one n×n block per tree edge,
+        # charged uniformly (each rank touches O(1) edges per level).
+        if p_eff > 1:
+            per_rank = float(n * n)
+            machine.charge_comm_batch(grp, per_rank, per_rank)
+            machine.superstep(grp, max(1, int(np.ceil(np.log2(p_eff)))))
+
+        q_blocks = []
+        for idx, (qleaf, z) in enumerate(zip(leaf_q, zs)):
+            rank = grp[idx]
+            q_blocks.append(local_matmul(machine, rank, qleaf, z))
+        machine.superstep(grp, 1)
+        q_thin = np.vstack(q_blocks)
     machine.trace.record("tsqr", grp.ranks, flops=2.0 * m * n * n, tag=tag)
     return q_thin, r_final
 

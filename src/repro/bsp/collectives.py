@@ -61,8 +61,9 @@ def bcast(machine: BSPMachine, group: RankGroup, words: float, root: int | None 
     recvs = np.full(g, share + (g - 1) * share)
     sends[ri] = (2 * (g - 1)) * share
     recvs[ri] = (g - 1) * share
-    machine.charge_comm_batch(group, sends, recvs)
-    machine.superstep(group, 2)
+    with machine.span("bcast", group=group):
+        machine.charge_comm_batch(group, sends, recvs)
+        machine.superstep(group, 2)
     machine.trace.record("bcast", group.ranks, words=words, tag=tag, root=root)
 
 
@@ -80,9 +81,10 @@ def reduce(machine: BSPMachine, group: RankGroup, words: float, root: int | None
     recvs = np.full(g, base)
     sends[ri] = base
     recvs[ri] = base + base
-    machine.charge_comm_batch(group, sends, recvs)
-    machine.charge_flops(group, base)
-    machine.superstep(group, 2)
+    with machine.span("reduce", group=group):
+        machine.charge_comm_batch(group, sends, recvs)
+        machine.charge_flops(group, base)
+        machine.superstep(group, 2)
     machine.trace.record("reduce", group.ranks, words=words, tag=tag, root=root)
 
 
@@ -94,9 +96,10 @@ def allreduce(machine: BSPMachine, group: RankGroup, words: float, tag: str = ""
         return
     share = words / g
     per_rank = 2 * (g - 1) * share
-    machine.charge_comm_batch(group, per_rank, per_rank)
-    machine.charge_flops(group, (g - 1) * share)
-    machine.superstep(group, 2)
+    with machine.span("allreduce", group=group):
+        machine.charge_comm_batch(group, per_rank, per_rank)
+        machine.charge_flops(group, (g - 1) * share)
+        machine.superstep(group, 2)
     machine.trace.record("allreduce", group.ranks, words=words, tag=tag)
 
 
@@ -108,9 +111,10 @@ def reduce_scatter(machine: BSPMachine, group: RankGroup, words_total: float, ta
         return
     share = words_total / g
     per_rank = (g - 1) * share
-    machine.charge_comm_batch(group, per_rank, per_rank)
-    machine.charge_flops(group, per_rank)
-    machine.superstep(group, 1)
+    with machine.span("reduce_scatter", group=group):
+        machine.charge_comm_batch(group, per_rank, per_rank)
+        machine.charge_flops(group, per_rank)
+        machine.superstep(group, 1)
     machine.trace.record("reduce_scatter", group.ranks, words=words_total, tag=tag)
 
 
@@ -121,8 +125,9 @@ def allgather(machine: BSPMachine, group: RankGroup, words_each: float, tag: str
     if g == 1 or words_each == 0:
         return
     per_rank = (g - 1) * words_each
-    machine.charge_comm_batch(group, per_rank, per_rank)
-    machine.superstep(group, 1)
+    with machine.span("allgather", group=group):
+        machine.charge_comm_batch(group, per_rank, per_rank)
+        machine.superstep(group, 1)
     machine.trace.record("allgather", group.ranks, words=g * words_each, tag=tag)
 
 
@@ -137,8 +142,9 @@ def gather(machine: BSPMachine, group: RankGroup, words_each: float, root: int |
     recvs = np.zeros(g)
     sends[ri] = 0.0
     recvs[ri] = (g - 1) * words_each
-    machine.charge_comm_batch(group, sends, recvs)
-    machine.superstep(group, 1)
+    with machine.span("gather", group=group):
+        machine.charge_comm_batch(group, sends, recvs)
+        machine.superstep(group, 1)
     machine.trace.record("gather", group.ranks, words=g * words_each, tag=tag, root=root)
 
 
@@ -153,8 +159,9 @@ def scatter(machine: BSPMachine, group: RankGroup, words_each: float, root: int 
     recvs = np.full(g, words_each)
     sends[ri] = (g - 1) * words_each
     recvs[ri] = 0.0
-    machine.charge_comm_batch(group, sends, recvs)
-    machine.superstep(group, 1)
+    with machine.span("scatter", group=group):
+        machine.charge_comm_batch(group, sends, recvs)
+        machine.superstep(group, 1)
     machine.trace.record("scatter", group.ranks, words=g * words_each, tag=tag, root=root)
 
 
@@ -180,8 +187,9 @@ def alltoall(machine: BSPMachine, group: RankGroup, transfers: dict[tuple[int, i
         sends[src] = sends.get(src, 0.0) + w
         recvs[dst] = recvs.get(dst, 0.0) + w
         total += w
-    machine.charge_comm(sends=sends, recvs=recvs)
-    machine.superstep(group, 1)
+    with machine.span("alltoall", group=group):
+        machine.charge_comm(sends=sends, recvs=recvs)
+        machine.superstep(group, 1)
     machine.trace.record("alltoall", group.ranks, words=total, tag=tag)
 
 
@@ -194,8 +202,9 @@ def alltoall_matrix(machine: BSPMachine, group: RankGroup, matrix, tag: str = ""
     """
     machine.check_group(group)
     mat = np.asarray(matrix, dtype=np.float64)
-    machine.charge_comm_matrix(group, mat)
-    machine.superstep(group, 1)
+    with machine.span("alltoall", group=group):
+        machine.charge_comm_matrix(group, mat)
+        machine.superstep(group, 1)
     if machine.trace.enabled:
         off = mat.copy()
         np.fill_diagonal(off, 0.0)

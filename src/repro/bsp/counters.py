@@ -25,7 +25,7 @@ is what makes the engines bit-identical, not merely close.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -83,6 +83,10 @@ class CostReport:
     #: (scalar engine) or a :class:`CounterArray` (vectorized engine).
     #: Excluded from equality so reports from either engine compare by cost.
     per_rank: object = field(repr=False, compare=False, default=())
+    #: per-span breakdown (:class:`repro.trace.report.SpanBreakdown`) when
+    #: the machine ran with span tracing enabled; ``None`` otherwise.
+    #: Excluded from equality so traced and untraced runs compare by cost.
+    span_breakdown: object = field(repr=False, compare=False, default=None)
 
     @property
     def F(self) -> float:  # noqa: N802 — paper notation
@@ -107,6 +111,23 @@ class CostReport:
     def time(self, params: MachineParams) -> float:
         """Modeled execution time on a machine with the given parameters."""
         return params.time(self.flops, self.words, self.mem_traffic, self.supersteps)
+
+    def with_spans(self, breakdown: object) -> "CostReport":
+        """Copy of this report carrying a per-span breakdown."""
+        return replace(self, span_breakdown=breakdown)
+
+    def by_span(self):  # noqa: ANN201 — SpanBreakdown (import cycle)
+        """The per-span cost breakdown of the traced run.
+
+        Raises ``ValueError`` if the machine did not run with span tracing
+        (``BSPMachine(p, spans=True)`` or ``REPRO_SPANS=1``).
+        """
+        if self.span_breakdown is None:
+            raise ValueError(
+                "this report carries no span breakdown; run on a machine with "
+                "span tracing enabled (BSPMachine(p, spans=True) or REPRO_SPANS=1)"
+            )
+        return self.span_breakdown
 
     @property
     def flop_imbalance(self) -> float:

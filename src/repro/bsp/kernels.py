@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bsp.group import RankGroup
 from repro.bsp.machine import BSPMachine
+
+
+def _span_group(ranks) -> RankGroup | None:
+    """Rank spec as a RankGroup for span labelling, when it is one."""
+    return ranks if isinstance(ranks, RankGroup) else None
 
 
 def _read(machine: BSPMachine, rank: int, array: np.ndarray, key: object | None) -> None:
@@ -188,8 +194,9 @@ def sharded_matvec(
     m, n = a.shape
     g = _group_size(ranks)
     y = scale * (a @ v)
-    machine.charge_flops(ranks, 2.0 * m * n / g)
-    machine.mem_stream_group(ranks, m * n / g)
+    with machine.span("sharded_matvec", group=_span_group(ranks)):
+        machine.charge_flops(ranks, 2.0 * m * n / g)
+        machine.mem_stream_group(ranks, m * n / g)
     return y
 
 
@@ -203,8 +210,9 @@ def sharded_dot(machine: BSPMachine, ranks, x: np.ndarray, y: np.ndarray) -> flo
         raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
     g = _group_size(ranks)
     n = float(x.size)
-    machine.charge_flops(ranks, 2.0 * n / g)
-    machine.mem_stream_group(ranks, 2.0 * n / g)
+    with machine.span("sharded_dot", group=_span_group(ranks)):
+        machine.charge_flops(ranks, 2.0 * n / g)
+        machine.mem_stream_group(ranks, 2.0 * n / g)
     return float(np.dot(x.ravel(), y.ravel()))
 
 
@@ -215,8 +223,9 @@ def sharded_axpy(machine: BSPMachine, ranks, alpha: float, x: np.ndarray, y: np.
     g = _group_size(ranks)
     n = float(x.size)
     y += alpha * x
-    machine.charge_flops(ranks, 2.0 * n / g)
-    machine.mem_stream_group(ranks, 2.0 * n / g)
+    with machine.span("sharded_axpy", group=_span_group(ranks)):
+        machine.charge_flops(ranks, 2.0 * n / g)
+        machine.mem_stream_group(ranks, 2.0 * n / g)
     return y
 
 
@@ -232,6 +241,7 @@ def sharded_rank2_update(machine: BSPMachine, ranks, a: np.ndarray, v: np.ndarra
         raise ValueError(f"rank-2 update shape mismatch: A {a.shape}, v {v.shape}, w {w.shape}")
     g = _group_size(ranks)
     a -= np.outer(v, w) + np.outer(w, v)
-    machine.charge_flops(ranks, 4.0 * m * n / g)
-    machine.mem_stream_group(ranks, m * n / g)
+    with machine.span("sharded_rank2_update", group=_span_group(ranks)):
+        machine.charge_flops(ranks, 4.0 * m * n / g)
+        machine.mem_stream_group(ranks, m * n / g)
     return a

@@ -39,6 +39,7 @@ from repro.bsp.counters import CostReport, CounterArray
 from repro.bsp.group import RankGroup
 from repro.bsp.params import MachineParams
 from repro.bsp.trace import Trace
+from repro.trace.spans import NULL_SPAN, SpanHandle, SpanRecorder
 from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:
@@ -70,6 +71,7 @@ class BSPMachine:
         params: MachineParams | None = None,
         trace: bool = False,
         engine: str | None = None,
+        spans: bool | None = None,
     ):
         self.p = check_positive_int(p, "p")
         self.params = params or MachineParams()
@@ -77,6 +79,9 @@ class BSPMachine:
         self.counters = _make_store(self.engine, self.p)
         self.caches: list[CacheModel] = [CacheModel(self.params.cache_words) for _ in range(self.p)]
         self.trace = Trace(enabled=trace)
+        if spans is None:
+            spans = os.environ.get("REPRO_SPANS", "") not in ("", "0")
+        self.spans = SpanRecorder(self.counters, self.params, enabled=spans)
         self.world = RankGroup(tuple(range(self.p)))
 
     # ------------------------------------------------------------------ #
@@ -309,17 +314,45 @@ class BSPMachine:
         self.counters.release_memory(idx, words_each)
 
     # ------------------------------------------------------------------ #
+    # span tracing (see repro.trace)
+
+    def span(self, name: str, group: RankGroup | None = None) -> SpanHandle:
+        """Open a named cost-attribution span as a context manager.
+
+        Counter deltas charged while the span is innermost are attributed
+        to it (see :mod:`repro.trace.spans`).  When span tracing is
+        disabled (the default) this returns a shared no-op handle, so
+        instrumented hot paths cost two trivial calls.
+        """
+        if not self.spans.enabled:
+            return NULL_SPAN
+        return self.spans.handle(name, group)
+
+    # ------------------------------------------------------------------ #
     # reporting
 
     def cost(self) -> CostReport:
-        """Snapshot the aggregated cost so far."""
-        return self.counters.report()
+        """Snapshot the aggregated cost so far.
+
+        On a span-enabled machine the report carries the per-span
+        breakdown, readable with :meth:`CostReport.by_span`.
+        """
+        report = self.counters.report()
+        if self.spans.enabled:
+            report = report.with_spans(self.spans.breakdown())
+        return report
 
     def reset(self) -> None:
-        """Zero all counters and caches (parameters are kept)."""
+        """Zero all engine state: counters, caches, traces, open spans.
+
+        Both engines reset their stores *in place* (held per-rank views
+        stay live), so a reset machine is indistinguishable from a fresh
+        one on either engine — see the reset regression tests.
+        """
         self.counters.reset()
         self.caches = [CacheModel(self.params.cache_words) for _ in range(self.p)]
         self.trace.clear()
+        self.spans.reset()
 
     def __repr__(self) -> str:
         return f"BSPMachine(p={self.p}, params={self.params}, engine={self.engine!r})"

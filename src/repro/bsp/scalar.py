@@ -113,7 +113,19 @@ class ScalarCounterStore:
         return out
 
     def reset(self) -> None:
-        self._counters = [RankCounters() for _ in range(self.p)]
+        # Zero IN PLACE, mirroring CounterArray.reset()'s fill(0): replacing
+        # the list (the old behavior) left previously handed-out
+        # RankCounters references pointing at pre-reset state, so code
+        # holding a per-rank view diverged between the engines after a
+        # mid-run reset.
+        for c in self._counters:
+            c.flops = 0.0
+            c.words_sent = 0.0
+            c.words_recv = 0.0
+            c.mem_traffic = 0.0
+            c.supersteps = 0
+            c.peak_memory_words = 0.0
+            c.current_memory_words = 0.0
 
     def report(self) -> CostReport:
         return aggregate(self._counters)

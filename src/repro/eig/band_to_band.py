@@ -61,33 +61,35 @@ def apply_chase_parallel(
     """
     rows = slice(step.oqr_r, step.oqr_r + step.nr)
     cols = slice(step.oqr_c, step.oqr_c + step.ncols)
-    block = band.fetch_window(rows, cols, qr_group, tag=f"{tag}:qr_fetch")
-    u, t, r = _chase_qr(machine, qr_group, block, tag=f"{tag}:qr")
-    out = np.zeros_like(block)
-    out[: r.shape[0], :] = r
-    band.store_window(rows, cols, out, qr_group, tag=f"{tag}:qr_store")
+    with machine.span("chase_qr", group=qr_group):
+        block = band.fetch_window(rows, cols, qr_group, tag=f"{tag}:qr_fetch")
+        u, t, r = _chase_qr(machine, qr_group, block, tag=f"{tag}:qr")
+        out = np.zeros_like(block)
+        out[: r.shape[0], :] = r
+        band.store_window(rows, cols, out, qr_group, tag=f"{tag}:qr_store")
 
     if step.nc <= 0:
         return
     up = slice(step.oup_c, step.oup_c + step.nc)
-    bup = band.fetch_window(up, rows, upd_group, tag=f"{tag}:upd_fetch")
-    # Lines 19–20: W = B[Iup, Iqr]·U·T;  V = −W + ½U(Tᵀ(Uᵀ W[Iv])).  These
-    # products are charged through CARMA (Lemma III.2), exactly as Lemma
-    # IV.3's proof invokes it — for these outer shapes CARMA splits both
-    # operands, beating any pattern that replicates U to the whole group.
-    ut = carma_matmul(machine, upd_group, u, t, charge_redistribution=False, tag=f"{tag}:UT")
-    w = carma_matmul(machine, upd_group, bup, ut, charge_redistribution=False, tag=f"{tag}:W")
-    v = -w
-    vrows = slice(step.ov, step.ov + step.nr)
-    inner = carma_matmul(machine, upd_group, u.T, w[vrows, :], charge_redistribution=False, tag=f"{tag}:V")
-    v[vrows, :] += 0.5 * (u @ (t.T @ inner))  # cost: free(charged via charge_flops on the next line)
-    machine.charge_flops(upd_group, 2.0 * u.size * t.shape[0] / upd_group.size)
-    # Lines 21–22: two-sided rank-2h update of the window (both triangles;
-    # the overlap block B[Iqr, Iqr] accumulates UVᵀ AND VUᵀ).
-    uvt = carma_matmul(machine, upd_group, u, v.T, charge_redistribution=False, tag=f"{tag}:UVt")
-    band.data[rows, up] += uvt
-    band.data[up, rows] += uvt.T
-    band.charge_store(rows, up, upd_group, tag=f"{tag}:upd_store")
+    with machine.span("chase_update", group=upd_group):
+        bup = band.fetch_window(up, rows, upd_group, tag=f"{tag}:upd_fetch")
+        # Lines 19–20: W = B[Iup, Iqr]·U·T;  V = −W + ½U(Tᵀ(Uᵀ W[Iv])).  These
+        # products are charged through CARMA (Lemma III.2), exactly as Lemma
+        # IV.3's proof invokes it — for these outer shapes CARMA splits both
+        # operands, beating any pattern that replicates U to the whole group.
+        ut = carma_matmul(machine, upd_group, u, t, charge_redistribution=False, tag=f"{tag}:UT")
+        w = carma_matmul(machine, upd_group, bup, ut, charge_redistribution=False, tag=f"{tag}:W")
+        v = -w
+        vrows = slice(step.ov, step.ov + step.nr)
+        inner = carma_matmul(machine, upd_group, u.T, w[vrows, :], charge_redistribution=False, tag=f"{tag}:V")
+        v[vrows, :] += 0.5 * (u @ (t.T @ inner))  # cost: free(charged via charge_flops on the next line)
+        machine.charge_flops(upd_group, 2.0 * u.size * t.shape[0] / upd_group.size)
+        # Lines 21–22: two-sided rank-2h update of the window (both triangles;
+        # the overlap block B[Iqr, Iqr] accumulates UVᵀ AND VUᵀ).
+        uvt = carma_matmul(machine, upd_group, u, v.T, charge_redistribution=False, tag=f"{tag}:UVt")
+        band.data[rows, up] += uvt
+        band.data[up, rows] += uvt.T
+        band.charge_store(rows, up, upd_group, tag=f"{tag}:upd_store")
 
 
 def band_to_band_2p5d(
@@ -110,17 +112,19 @@ def band_to_band_2p5d(
     h = b // k
     group = band.group
     p = group.size
-    # n/b groups Π̂_j of p̂ = p·b/n ranks each (at least one rank per group).
-    n_groups = max(1, min(p, n // b))
+    # ⌈n/b⌉ groups Π̂_j of p̂ = p·b/n ranks each (at least one rank per group;
+    # ceil so a ragged final panel gets its own group, matching group_of_step).
+    n_groups = max(1, min(p, -(-n // b)))
     subgroups = group.split(n_groups)
     # QR sub-groups: Π̂_j[1 : p·h/n] (line 16).
     qr_size = max(1, (p * h) // n)
 
-    for step in chase_steps(n, b, h):
-        gidx = group_of_step(step, n, b) % n_groups
-        upd_group = subgroups[gidx]
-        qr_group = upd_group.take(min(qr_size, upd_group.size))
-        apply_chase_parallel(machine, band, step, qr_group, upd_group, tag=tag)
+    with machine.span("band_to_band", group=group):
+        for step in chase_steps(n, b, h):
+            gidx = group_of_step(step, n, b) % n_groups
+            upd_group = subgroups[gidx]
+            qr_group = upd_group.take(min(qr_size, upd_group.size))
+            apply_chase_parallel(machine, band, step, qr_group, upd_group, tag=tag)
 
     band.data[:] = (band.data + band.data.T) / 2.0
     machine.trace.record("band_to_band", group.ranks, tag=tag)

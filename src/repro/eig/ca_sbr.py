@@ -35,23 +35,24 @@ def _run_chases_1d(
     n, b = band.n, band.b
     group = band.group
     prev_owner: dict[int, int] = {}  # panel index -> owner of its last chase
-    for step in chase_steps(n, b, h):
-        owner = band.owner_of_col(step.oqr_c)
-        # Local work: QR of the (nr × h) block + the window update.
-        machine.charge_flops(owner, qr_flops(max(step.nr, step.ncols), min(step.nr, step.ncols)))
-        machine.charge_flops(owner, 3.0 * matmul_flops(step.nc, step.nr, step.ncols))
-        # Vertical traffic: the working window streams through cache.
-        machine.mem_stream(owner, float(step.nc * step.nr + step.nr * step.ncols))
-        # Boundary crossing: if this bulge just moved to a new owner, the
-        # O(b²) window state is handed over and the pair synchronizes.
-        last = prev_owner.get(step.i)
-        if last is not None and last != owner:
-            words = float(step.nr * (step.ncols + step.nc))
-            machine.charge_comm(sends={last: words}, recvs={owner: words})
-            machine.superstep(RankGroup((last, owner)), 1)
-            machine.trace.record("sbr_handoff", (last, owner), words=words, tag=tag)
-        prev_owner[step.i] = owner
-        apply_chase_step(band.data, step)
+    with machine.span("sbr_halve", group=group):
+        for step in chase_steps(n, b, h):
+            owner = band.owner_of_col(step.oqr_c)
+            # Local work: QR of the (nr × h) block + the window update.
+            machine.charge_flops(owner, qr_flops(max(step.nr, step.ncols), min(step.nr, step.ncols)))
+            machine.charge_flops(owner, 3.0 * matmul_flops(step.nc, step.nr, step.ncols))
+            # Vertical traffic: the working window streams through cache.
+            machine.mem_stream(owner, float(step.nc * step.nr + step.nr * step.ncols))
+            # Boundary crossing: if this bulge just moved to a new owner, the
+            # O(b²) window state is handed over and the pair synchronizes.
+            last = prev_owner.get(step.i)
+            if last is not None and last != owner:
+                words = float(step.nr * (step.ncols + step.nc))
+                machine.charge_comm(sends={last: words}, recvs={owner: words})
+                machine.superstep(RankGroup((last, owner)), 1)
+                machine.trace.record("sbr_handoff", (last, owner), words=words, tag=tag)
+            prev_owner[step.i] = owner
+            apply_chase_step(band.data, step)
     band.data[:] = (band.data + band.data.T) / 2.0
     machine.trace.record("ca_sbr", group.ranks, tag=tag)
     return DistBandMatrix(machine, band.data, h, group)

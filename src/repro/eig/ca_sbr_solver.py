@@ -36,12 +36,13 @@ def eigensolve_ca_sbr(
     if not 1 <= b < n:
         raise ValueError(f"band-width must be in [1, n-1], got {b}")
 
-    grid = ProcGrid(machine, (q, q, 1), machine.world.take(q * q))
-    banded = full_to_band_2p5d(machine, grid, a, b, tag=f"{tag}:f2b")
+    with machine.span(tag):
+        grid = ProcGrid(machine, (q, q, 1), machine.world.take(q * q))
+        banded = full_to_band_2p5d(machine, grid, a, b, tag=f"{tag}:f2b")
 
-    band = DistBandMatrix(machine, banded, b, machine.world)
-    target = max(1, n // p)
-    if band.b > target:
-        band = ca_sbr_reduce(machine, band, target, tag=f"{tag}:halve")
+        band = DistBandMatrix(machine, banded, b, machine.world)
+        target = max(1, n // p)
+        if band.b > target:
+            band = ca_sbr_reduce(machine, band, target, tag=f"{tag}:halve")
 
-    return finish_sequential(machine, band, tag=tag)
+        return finish_sequential(machine, band, tag=tag)

@@ -41,21 +41,22 @@ def finish_sequential(machine: BSPMachine, band: DistBandMatrix, tag: str = "fin
     O(n·b·log b) streaming) and the Sturm bisection (O(n²) per sweep).
     """
     n, b = band.n, band.b
-    data = band.gather(0, tag=f"{tag}:gather")
-    root = 0
-    if b > 1:
-        tri = tridiagonalize_band_seq(data, b)
-        machine.charge_flops(root, 8.0 * n * b * b)
-        machine.mem_stream(root, float(n * b) * max(1.0, np.log2(max(2, b))))
-        d = np.diag(tri).copy()
-        e = np.diag(tri, -1).copy()
-    else:
-        d = np.diag(data).copy()
-        e = np.diag(data, -1).copy()
-    evals = sturm_bisection_eigenvalues(d, e)
-    machine.charge_flops(root, 64.0 * 5.0 * n * n)
-    machine.mem_stream(root, 64.0 * 2.0 * n)
-    machine.superstep(machine.world, 1)
+    with machine.span("finish"):
+        data = band.gather(0, tag=f"{tag}:gather")
+        root = 0
+        if b > 1:
+            tri = tridiagonalize_band_seq(data, b)
+            machine.charge_flops(root, 8.0 * n * b * b)
+            machine.mem_stream(root, float(n * b) * max(1.0, np.log2(max(2, b))))
+            d = np.diag(tri).copy()
+            e = np.diag(tri, -1).copy()
+        else:
+            d = np.diag(data).copy()
+            e = np.diag(data, -1).copy()
+        evals = sturm_bisection_eigenvalues(d, e)
+        machine.charge_flops(root, 64.0 * 5.0 * n * n)
+        machine.mem_stream(root, 64.0 * 2.0 * n)
+        machine.superstep(machine.world, 1)
     machine.trace.record("finish", (root,), tag=tag)
     return evals
 
@@ -127,40 +128,43 @@ def eigensolve_2p5d(
             stages.append((name, now - mark))
             mark = now
 
-    # Stage 1: full → band.
-    banded = full_to_band_2p5d(machine, grid, a, b, tag=f"{tag}:f2b")
-    snapshot(f"full_to_band(b={b})")
-    band = DistBandMatrix(machine, banded, b, machine.world)
+    with machine.span(tag):
+        # Stage 1: full → band.
+        banded = full_to_band_2p5d(machine, grid, a, b, tag=f"{tag}:f2b")
+        snapshot(f"full_to_band(b={b})")
+        band = DistBandMatrix(machine, banded, b, machine.world)
 
-    # Stage 2: 2.5D band-to-band halvings down to ~n/p^δ, shrinking the
-    # active group by k^ζ each stage (ζ = (1−δ)/δ).
-    zeta = (1.0 - delta_eff) / delta_eff
-    target2 = max(2, int(np.ceil(n / p**delta_eff)))
-    active = machine.world
-    stage_idx = 0
-    while band.b > target2 and band.b % k == 0 and band.b >= 2:
-        if stage_idx > 0:
-            new_size = max(1, int(round(active.size / k**zeta)))
-            if new_size < active.size:
-                active = active.take(new_size)
-                band = band.redistribute(active, tag=f"{tag}:shrink{stage_idx}")
-        band = band_to_band_2p5d(machine, band, k=k, tag=f"{tag}:b2b{stage_idx}")
-        snapshot(f"band_to_band(b={band.b * k}->{band.b}, p={active.size})")
-        stage_idx += 1
+        # Stage 2: 2.5D band-to-band halvings down to ~n/p^δ, shrinking the
+        # active group by k^ζ each stage (ζ = (1−δ)/δ).
+        zeta = (1.0 - delta_eff) / delta_eff
+        target2 = max(2, int(np.ceil(n / p**delta_eff)))
+        active = machine.world
+        stage_idx = 0
+        while band.b > target2 and band.b % k == 0 and band.b >= 2:
+            if stage_idx > 0:
+                new_size = max(1, int(round(active.size / k**zeta)))
+                if new_size < active.size:
+                    active = active.take(new_size)
+                    with machine.span("shrink", group=active):
+                        band = band.redistribute(active, tag=f"{tag}:shrink{stage_idx}")
+            band = band_to_band_2p5d(machine, band, k=k, tag=f"{tag}:b2b{stage_idx}")
+            snapshot(f"band_to_band(b={band.b * k}->{band.b}, p={active.size})")
+            stage_idx += 1
 
-    # Stage 3: CA-SBR halvings on p^δ ranks down to ~n/p.
-    target3 = max(1, n // p)
-    if band.b > target3:
-        small = machine.world.take(max(1, int(round(p**delta_eff))))
-        if small.size < band.group.size:
-            band = band.redistribute(small, tag=f"{tag}:shrink_sbr")
-        start_b = band.b
-        band = ca_sbr_reduce(machine, band, target3, tag=f"{tag}:sbr")
-        snapshot(f"ca_sbr(b={start_b}->{band.b}, p={small.size})")
+        # Stage 3: CA-SBR halvings on p^δ ranks down to ~n/p.
+        target3 = max(1, n // p)
+        if band.b > target3:
+            small = machine.world.take(max(1, int(round(p**delta_eff))))
+            if small.size < band.group.size:
+                with machine.span("shrink", group=small):
+                    band = band.redistribute(small, tag=f"{tag}:shrink_sbr")
+            start_b = band.b
+            band = ca_sbr_reduce(machine, band, target3, tag=f"{tag}:sbr")
+            snapshot(f"ca_sbr(b={start_b}->{band.b}, p={small.size})")
 
-    # Stage 4: sequential finish.
-    evals = finish_sequential(machine, band, tag=tag)
-    snapshot("finish")
+        # Stage 4: sequential finish.
+        evals = finish_sequential(machine, band, tag=tag)
+        snapshot("finish")
 
     return EigensolveResult(
         eigenvalues=evals,

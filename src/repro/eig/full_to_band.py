@@ -74,104 +74,112 @@ def full_to_band_2p5d(
     z = int(np.clip(round((b * pdelta / n) ** ((1 - delta) / delta)), 1, q))
     qr_group = grid.subgrid(slice(0, q), slice(0, z), slice(0, grid.shape[2])).group()
 
-    # Initial replication of A onto every layer: one allgather over fibers,
-    # after which each rank holds its n²/q² layer-local share (Lemma IV.1).
-    share = float(n * n) / (q * q)
-    if p > 1:
-        machine.charge_comm_batch(group, share, share)
-        machine.superstep(group, 1)
-    machine.note_memory(group, 3 * share)  # A + U + V replicas
-    machine.trace.record("replicate_A", group.ranks, words=share * p, tag=tag)
+    with machine.span("full_to_band", group=group):
+        # Initial replication of A onto every layer: one allgather over fibers,
+        # after which each rank holds its n²/q² layer-local share (Lemma IV.1).
+        share = float(n * n) / (q * q)
+        with machine.span("replicate", group=group):
+            if p > 1:
+                machine.charge_comm_batch(group, share, share)
+                machine.superstep(group, 1)
+        machine.note_memory(group, 3 * share)  # A + U + V replicas
+        machine.trace.record("replicate_A", group.ranks, words=share * p, tag=tag)
 
-    bmat = np.zeros((n, n))
-    u_glob = np.zeros((n, 0))
-    v_glob = np.zeros((n, 0))
+        bmat = np.zeros((n, n))
+        u_glob = np.zeros((n, 0))
+        v_glob = np.zeros((n, 0))
 
-    c0 = 0
-    while n - c0 > b:
-        nbar = n - c0
-        m_agg = u_glob.shape[1]
+        c0 = 0
+        while n - c0 > b:
+            nbar = n - c0
+            m_agg = u_glob.shape[1]
 
-        # ---- line 5: left-looking update of the current panel ------------
-        panel = a[c0:, c0 : c0 + b].copy()
-        if m_agg:
-            panel += streaming_matmul(
-                machine, grid, u_glob[c0:, :], v_glob[c0 : c0 + b, :].T, w, a_key="Uagg",
-                tag=f"{tag}:panel_upd",
-            )
-            panel += streaming_matmul(
-                machine, grid, v_glob[c0:, :], u_glob[c0 : c0 + b, :].T, w, a_key="Vagg",
-                tag=f"{tag}:panel_upd",
-            )
-        a11 = panel[:b, :]
-        a21 = panel[b:, :]
+            # ---- line 5: left-looking update of the current panel ------------
+            panel = a[c0:, c0 : c0 + b].copy()
+            if m_agg:
+                with machine.span("panel_update", group=group):
+                    panel += streaming_matmul(
+                        machine, grid, u_glob[c0:, :], v_glob[c0 : c0 + b, :].T, w, a_key="Uagg",
+                        tag=f"{tag}:panel_upd",
+                    )
+                    panel += streaming_matmul(
+                        machine, grid, v_glob[c0:, :], u_glob[c0 : c0 + b, :].T, w, a_key="Vagg",
+                        tag=f"{tag}:panel_upd",
+                    )
+            a11 = panel[:b, :]
+            a21 = panel[b:, :]
 
-        # ---- lines 6–7: QR of the sub-diagonal panel ----------------------
-        if a21.shape[0] >= a21.shape[1]:
-            u1, t1, r1 = rect_qr(machine, qr_group, a21, delta=delta, tag=f"{tag}:qr@{c0}")
-        else:
-            # Ragged last panel (rows < b): a single rank factors it.
-            u1, t1, r1 = compact_wy_qr_general(a21)
-            machine.charge_flops(qr_group[0], qr_flops(max(a21.shape), min(a21.shape)))
-            machine.superstep(qr_group, 1)
+            # ---- lines 6–7: QR of the sub-diagonal panel ----------------------
+            with machine.span("panel_qr", group=qr_group):
+                if a21.shape[0] >= a21.shape[1]:
+                    u1, t1, r1 = rect_qr(machine, qr_group, a21, delta=delta, tag=f"{tag}:qr@{c0}")
+                else:
+                    # Ragged last panel (rows < b): a single rank factors it.
+                    u1, t1, r1 = compact_wy_qr_general(a21)
+                    machine.charge_flops(qr_group[0], qr_flops(max(a21.shape), min(a21.shape)))
+                    machine.superstep(qr_group, 1)
 
-        # ---- line 8: W = A22·U1 + U2(V2ᵀU1) + V2(U2ᵀU1) -------------------
-        a22 = a[c0 + b :, c0 + b :]
-        wmat = streaming_matmul(machine, grid, a22, u1, w, a_key="A", tag=f"{tag}:W")
-        if m_agg:
-            x1 = streaming_matmul(
-                machine, grid, v_glob[c0 + b :, :].T, u1, w, a_key="Vagg", tag=f"{tag}:W"
-            )
-            wmat += streaming_matmul(
-                machine, grid, u_glob[c0 + b :, :], x1, w, a_key="Uagg", tag=f"{tag}:W"
-            )
-            x2 = streaming_matmul(
-                machine, grid, u_glob[c0 + b :, :].T, u1, w, a_key="Uagg", tag=f"{tag}:W"
-            )
-            wmat += streaming_matmul(
-                machine, grid, v_glob[c0 + b :, :], x2, w, a_key="Vagg", tag=f"{tag}:W"
-            )
+            # ---- line 8: W = A22·U1 + U2(V2ᵀU1) + V2(U2ᵀU1) -------------------
+            a22 = a[c0 + b :, c0 + b :]
+            with machine.span("form_W", group=group):
+                wmat = streaming_matmul(machine, grid, a22, u1, w, a_key="A", tag=f"{tag}:W")
+                if m_agg:
+                    x1 = streaming_matmul(
+                        machine, grid, v_glob[c0 + b :, :].T, u1, w, a_key="Vagg", tag=f"{tag}:W"
+                    )
+                    wmat += streaming_matmul(
+                        machine, grid, u_glob[c0 + b :, :], x1, w, a_key="Uagg", tag=f"{tag}:W"
+                    )
+                    x2 = streaming_matmul(
+                        machine, grid, u_glob[c0 + b :, :].T, u1, w, a_key="Uagg", tag=f"{tag}:W"
+                    )
+                    wmat += streaming_matmul(
+                        machine, grid, v_glob[c0 + b :, :], x2, w, a_key="Vagg", tag=f"{tag}:W"
+                    )
 
-        # ---- line 9: V1 = ½U1(Tᵀ(U1ᵀ(W T))) − W T --------------------------
-        y = carma_matmul(machine, group, wmat, t1, charge_redistribution=False, tag=f"{tag}:V1")
-        z1 = carma_matmul(machine, group, u1.T, y, charge_redistribution=False, tag=f"{tag}:V1")
-        z2 = carma_matmul(machine, group, t1.T, z1, charge_redistribution=False, tag=f"{tag}:V1")
-        z3 = carma_matmul(machine, group, u1, z2, charge_redistribution=False, tag=f"{tag}:V1")
-        v1 = 0.5 * z3 - y
-        machine.charge_flops(group, float(v1.size) / p)
+            # ---- line 9: V1 = ½U1(Tᵀ(U1ᵀ(W T))) − W T --------------------------
+            with machine.span("form_V1", group=group):
+                y = carma_matmul(machine, group, wmat, t1, charge_redistribution=False, tag=f"{tag}:V1")
+                z1 = carma_matmul(machine, group, u1.T, y, charge_redistribution=False, tag=f"{tag}:V1")
+                z2 = carma_matmul(machine, group, t1.T, z1, charge_redistribution=False, tag=f"{tag}:V1")
+                z3 = carma_matmul(machine, group, u1, z2, charge_redistribution=False, tag=f"{tag}:V1")
+                v1 = 0.5 * z3 - y
+                machine.charge_flops(group, float(v1.size) / p)
 
-        # ---- line 10: replicate U1 and V1 over all layers ------------------
-        rep = float(u1.size + v1.size) / (q * q)
-        machine.charge_comm_batch(group, rep, rep)
-        machine.superstep(group, 1)
-        machine.trace.record("replicate_UV", group.ranks, words=rep * p, tag=tag)
+            # ---- line 10: replicate U1 and V1 over all layers ------------------
+            rep = float(u1.size + v1.size) / (q * q)
+            with machine.span("replicate_UV", group=group):
+                machine.charge_comm_batch(group, rep, rep)
+                machine.superstep(group, 1)
+            machine.trace.record("replicate_UV", group.ranks, words=rep * p, tag=tag)
 
-        # ---- assemble the banded output ------------------------------------
-        bmat[c0 : c0 + b, c0 : c0 + b] = (a11 + a11.T) / 2.0
-        rrows = r1.shape[0]
-        bmat[c0 + b : c0 + b + rrows, c0 : c0 + b] = r1
-        bmat[c0 : c0 + b, c0 + b : c0 + b + rrows] = r1.T
+            # ---- assemble the banded output ------------------------------------
+            bmat[c0 : c0 + b, c0 : c0 + b] = (a11 + a11.T) / 2.0
+            rrows = r1.shape[0]
+            bmat[c0 + b : c0 + b + rrows, c0 : c0 + b] = r1
+            bmat[c0 : c0 + b, c0 + b : c0 + b + rrows] = r1.T
 
-        # ---- append the new panels to the aggregates -----------------------
-        pad_u = np.zeros((n, u1.shape[1]))
-        pad_u[c0 + b :, :] = u1
-        pad_v = np.zeros((n, v1.shape[1]))
-        pad_v[c0 + b :, :] = v1
-        u_glob = np.hstack([u_glob, pad_u])
-        v_glob = np.hstack([v_glob, pad_v])
-        machine.note_memory(group, 3 * share + 2.0 * n * u_glob.shape[1] / (q * q))
+            # ---- append the new panels to the aggregates -----------------------
+            pad_u = np.zeros((n, u1.shape[1]))
+            pad_u[c0 + b :, :] = u1
+            pad_v = np.zeros((n, v1.shape[1]))
+            pad_v[c0 + b :, :] = v1
+            u_glob = np.hstack([u_glob, pad_u])
+            v_glob = np.hstack([v_glob, pad_v])
+            machine.note_memory(group, 3 * share + 2.0 * n * u_glob.shape[1] / (q * q))
 
-        c0 += b
+            c0 += b
 
-    # ---- base case (lines 1–2): apply the aggregate to the tail block -----
-    tail = a[c0:, c0:].copy()
-    if u_glob.shape[1]:
-        tail += streaming_matmul(
-            machine, grid, u_glob[c0:, :], v_glob[c0:, :].T, w, a_key="Uagg", tag=f"{tag}:tail"
-        )
-        tail += streaming_matmul(
-            machine, grid, v_glob[c0:, :], u_glob[c0:, :].T, w, a_key="Vagg", tag=f"{tag}:tail"
-        )
-    bmat[c0:, c0:] = (tail + tail.T) / 2.0
-    machine.trace.record("full_to_band", group.ranks, tag=tag)
-    return (bmat + bmat.T) / 2.0
+        # ---- base case (lines 1–2): apply the aggregate to the tail block -----
+        tail = a[c0:, c0:].copy()
+        if u_glob.shape[1]:
+            with machine.span("tail", group=group):
+                tail += streaming_matmul(
+                    machine, grid, u_glob[c0:, :], v_glob[c0:, :].T, w, a_key="Uagg", tag=f"{tag}:tail"
+                )
+                tail += streaming_matmul(
+                    machine, grid, v_glob[c0:, :], u_glob[c0:, :].T, w, a_key="Vagg", tag=f"{tag}:tail"
+                )
+        bmat[c0:, c0:] = (tail + tail.T) / 2.0
+        machine.trace.record("full_to_band", group.ranks, tag=tag)
+        return (bmat + bmat.T) / 2.0

@@ -34,30 +34,31 @@ def tridiagonalize_scalapack_like(
     sqrt_p = max(1.0, np.sqrt(p))
     log_p = max(1.0, np.log2(p))
 
-    for j in range(n - 2):
-        nbar = n - j - 1  # trailing dimension
-        x = a[j + 1 :, j]
-        v, tau, beta = householder_vector(x)
-        # Column broadcast of v along the grid (row + column phases).
-        per_rank = 2.0 * nbar / sqrt_p
-        if p > 1:
-            machine.charge_comm_batch(group, per_rank, per_rank)
-        # w = τ·A v (trailing matvec): flops and streaming split over ranks.
-        w = sharded_matvec(machine, group, a[j + 1 :, j + 1 :], v, scale=tau)
-        # allreduce of the partial w segments.
-        if p > 1:
-            machine.charge_comm_batch(group, per_rank, per_rank)
-        machine.superstep(group, 3)
-        if tau != 0.0:
-            # w ← w − ½τ(wᵀv)v, then the rank-2 symmetric update
-            # A ← A − v wᵀ − w vᵀ; every flop routed through bsp.kernels.
-            wv = sharded_dot(machine, group, w, v)
-            sharded_axpy(machine, group, -0.5 * tau * wv, v, w)
-            sharded_rank2_update(machine, group, a[j + 1 :, j + 1 :], v, w)
-        a[j + 1, j] = beta
-        a[j, j + 1] = beta
-        a[j + 2 :, j] = 0.0
-        a[j, j + 2 :] = 0.0
+    with machine.span("tridiag", group=group):
+        for j in range(n - 2):
+            nbar = n - j - 1  # trailing dimension
+            x = a[j + 1 :, j]
+            v, tau, beta = householder_vector(x)
+            # Column broadcast of v along the grid (row + column phases).
+            per_rank = 2.0 * nbar / sqrt_p
+            if p > 1:
+                machine.charge_comm_batch(group, per_rank, per_rank)
+            # w = τ·A v (trailing matvec): flops and streaming split over ranks.
+            w = sharded_matvec(machine, group, a[j + 1 :, j + 1 :], v, scale=tau)
+            # allreduce of the partial w segments.
+            if p > 1:
+                machine.charge_comm_batch(group, per_rank, per_rank)
+            machine.superstep(group, 3)
+            if tau != 0.0:
+                # w ← w − ½τ(wᵀv)v, then the rank-2 symmetric update
+                # A ← A − v wᵀ − w vᵀ; every flop routed through bsp.kernels.
+                wv = sharded_dot(machine, group, w, v)
+                sharded_axpy(machine, group, -0.5 * tau * wv, v, w)
+                sharded_rank2_update(machine, group, a[j + 1 :, j + 1 :], v, w)
+            a[j + 1, j] = beta
+            a[j, j + 1] = beta
+            a[j + 2 :, j] = 0.0
+            a[j, j + 2 :] = 0.0
     machine.trace.record("scalapack_tridiag", group.ranks, tag=tag)
     return np.diag(a).copy(), np.diag(a, -1).copy()
 
@@ -69,10 +70,12 @@ def eigensolve_scalapack_like(machine: BSPMachine, a: np.ndarray, tag: str = "sc
     intervals split over ranks — embarrassingly parallel, negligible
     communication), matching ScaLAPACK's pdstebz stage.
     """
-    d, e = tridiagonalize_scalapack_like(machine, a, tag=tag)
-    n = d.size
-    evals = sturm_bisection_eigenvalues(d, e)
-    machine.charge_flops(machine.world, 64.0 * 5.0 * n * n / machine.p)
-    machine.charge_comm_batch(machine.world, float(n), float(n))
-    machine.superstep(machine.world, 2)
+    with machine.span(tag):
+        d, e = tridiagonalize_scalapack_like(machine, a, tag=tag)
+        n = d.size
+        evals = sturm_bisection_eigenvalues(d, e)
+        with machine.span("bisection"):
+            machine.charge_flops(machine.world, 64.0 * 5.0 * n * n / machine.p)
+            machine.charge_comm_batch(machine.world, float(n), float(n))
+            machine.superstep(machine.world, 2)
     return evals

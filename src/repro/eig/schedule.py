@@ -53,9 +53,14 @@ def group_of_step(step: ChaseStep, n: int, b: int) -> int:
 
     The paper assigns chase j of every bulge to group Π̂_j (line 5); groups
     are indexed 0-based here and wrap if a chase chain is longer than the
-    n/b available groups (only possible for ragged trailing chains).
+    ⌈n/b⌉ available groups (only possible for ragged trailing chains).
+
+    The group count is ⌈n/b⌉, not ⌊n/b⌋: when b does not divide n, the
+    ragged trailing panel adds one more chase to each chain, and flooring
+    made two *same-phase* steps wrap onto one group — serializing steps the
+    schedule proves disjoint (and double-charging that group's ranks).
     """
-    n_groups = max(1, n // b)
+    n_groups = max(1, -(-n // b))
     return (step.j - 1) % n_groups
 
 
@@ -71,7 +76,10 @@ def schedule_checks(n: int, b: int, h: int) -> dict[str, bool]:
     * steps of one phase touch pairwise-disjoint row windows (they can run
       concurrently without conflicting updates);
     * within a panel, chase j+1 starts exactly where chase j's QR rows began
-      (the bulge-handoff invariant derived in :mod:`repro.linalg.sbr`).
+      (the bulge-handoff invariant derived in :mod:`repro.linalg.sbr`);
+    * steps of one phase map to pairwise-distinct processor groups under
+      :func:`group_of_step` (no same-phase collision — the invariant the
+      ⌈n/b⌉ group count exists to preserve).
     """
     sched = pipeline_schedule(n, b, h)
     disjoint = True
@@ -90,4 +98,9 @@ def schedule_checks(n: int, b: int, h: int) -> dict[str, bool]:
         for s0, s1 in zip(steps, steps[1:]):
             if s1.oqr_c != s0.oqr_r:
                 handoff = False
-    return {"phases_disjoint": disjoint, "bulge_handoff": handoff}
+    groups_ok = True
+    for ph in sched:
+        gids = [group_of_step(s, n, b) for s in ph.steps]
+        if len(set(gids)) != len(gids):
+            groups_ok = False
+    return {"phases_disjoint": disjoint, "bulge_handoff": handoff, "groups_disjoint": groups_ok}

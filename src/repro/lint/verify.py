@@ -27,9 +27,12 @@ from typing import Iterable
 
 import numpy as np
 
+from types import TracebackType
+
 from repro.bsp.group import RankGroup
 from repro.bsp.machine import BSPMachine
 from repro.bsp.params import MachineParams
+from repro.trace.spans import SpanHandle
 
 #: counter quantities whose per-rank values must never decrease
 _MONOTONE_FIELDS = (
@@ -44,6 +47,34 @@ _MONOTONE_FIELDS = (
 
 class BSPDisciplineError(AssertionError):
     """A BSP cost-accounting invariant was violated."""
+
+
+class _VerifiedSpan(SpanHandle):
+    """Span handle that re-checks all invariants when the span closes, so
+    a violation is pinned to the span that caused it, not just to the next
+    superstep barrier."""
+
+    __slots__ = ("_machine", "_inner", "_name")
+
+    def __init__(self, machine: "VerifiedMachine", inner: SpanHandle, name: str):
+        self._machine = machine
+        self._inner = inner
+        self._name = name
+
+    def __enter__(self) -> "_VerifiedSpan":
+        self._inner.__enter__()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        self._inner.__exit__(exc_type, exc, tb)
+        if exc_type is None:
+            self._machine.verify(f"span({self._name})")
+        return False
 
 
 class VerifiedMachine(BSPMachine):
@@ -67,12 +98,13 @@ class VerifiedMachine(BSPMachine):
         params: MachineParams | None = None,
         trace: bool = False,
         engine: str | None = None,
+        spans: bool | None = None,
         *,
         memory_bound_words: float | None = None,
         strict_reads: bool = False,
         conservation_rtol: float = 1e-6,
     ):
-        super().__init__(p, params, trace, engine)
+        super().__init__(p, params, trace, engine, spans)
         self.memory_bound_words = memory_bound_words
         self.strict_reads = strict_reads
         self.conservation_rtol = conservation_rtol
@@ -108,6 +140,12 @@ class VerifiedMachine(BSPMachine):
     def cost(self):  # noqa: ANN201 — see BSPMachine.cost
         self.verify("cost()")
         return super().cost()
+
+    def span(self, name: str, group: RankGroup | None = None) -> SpanHandle:
+        inner = super().span(name, group)
+        if not self.spans.enabled:
+            return inner
+        return _VerifiedSpan(self, inner, name)
 
     def reset(self) -> None:
         super().reset()

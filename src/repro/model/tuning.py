@@ -15,14 +15,28 @@ from repro.bsp.params import MachineParams
 from repro.model.costs import delta_to_c, eigensolver_2p5d_cost
 
 
+def delta_grid(samples: int, lo: float = 0.5, hi: float = 2.0 / 3.0) -> list[float]:
+    """``samples`` strictly increasing δ values with the endpoints pinned.
+
+    The first and last entries are ``lo`` and ``hi`` *exactly* — not the
+    lerp ``lo + (hi - lo) * i / (samples - 1)``, whose float rounding can
+    land the last sample just off 2/3 and silently exclude the paper's
+    minimum-W endpoint from every sweep.  Interior points interpolate.
+    """
+    if samples < 2:
+        return [lo]
+    grid = [lo + (hi - lo) * i / (samples - 1) for i in range(samples)]
+    grid[0], grid[-1] = lo, hi
+    return grid
+
+
 def feasible_deltas(n: int, p: int, memory_words: float, samples: int = 33) -> list[float]:
     """δ values in [1/2, 2/3] whose memory footprint fits ``memory_words``."""
-    out = []
-    for i in range(samples):
-        d = 0.5 + (2.0 / 3.0 - 0.5) * i / (samples - 1)
-        if n * n / p ** (2.0 * (1.0 - d)) <= memory_words:
-            out.append(d)
-    return out
+    return [
+        d
+        for d in delta_grid(samples)
+        if n * n / p ** (2.0 * (1.0 - d)) <= memory_words
+    ]
 
 
 def predicted_time(n: int, p: int, delta: float, params: MachineParams) -> float:
@@ -42,15 +56,15 @@ def best_delta(n: int, p: int, params: MachineParams) -> tuple[float, float]:
             f"n={n} does not fit: even c=1 needs {n * n / p:.3g} words/rank, "
             f"machine has {params.memory_words:.3g}"
         )
-    best = min(cands, key=lambda d: predicted_time(n, p, d, params))
-    return best, predicted_time(n, p, best, params)
+    # single evaluation per candidate; ties keep the first (smallest) δ
+    t_best, best = min((predicted_time(n, p, d, params), d) for d in cands)
+    return best, t_best
 
 
 def tuning_table(n: int, p: int, params: MachineParams, samples: int = 9) -> list[dict]:
     """Sweep δ and report (δ, c, memory, predicted component times)."""
     rows = []
-    for i in range(samples):
-        d = 0.5 + (2.0 / 3.0 - 0.5) * i / (samples - 1)
+    for d in delta_grid(samples):
         cost = eigensolver_2p5d_cost(n, p, d, cache_words=params.cache_words)
         rows.append(
             {

@@ -59,6 +59,30 @@ class TestTune:
         assert "best delta = 0.5000" in out
 
 
+class TestTrace:
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--n", "32", "--p", "4", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "critical-path breakdown" in stdout
+        assert "bit-exact" in stdout
+        doc = json.loads(out.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs and all(e["dur"] >= 0 for e in xs)
+        assert doc["otherData"]["p"] == 4
+
+    def test_trace_scalar_engine_matches(self, tmp_path, capsys):
+        rc = main([
+            "trace", "--n", "32", "--p", "4",
+            "--engine", "scalar", "--out", str(tmp_path / "t.json"),
+        ])
+        assert rc == 0
+        assert "engine=scalar" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -144,6 +144,32 @@ class TestTuning:
         with pytest.raises(ValueError, match="does not fit"):
             best_delta(10**6, 4, MachineParams(memory_words=10.0))
 
+    @pytest.mark.parametrize("samples", [2, 3, 5, 9, 33, 100])
+    def test_delta_grid_pins_endpoints_exactly(self, samples):
+        """Regression: the grid's endpoints are δ = 1/2 and 2/3 *exactly*,
+        not the lerp's rounded `lo + (hi−lo)·i/(s−1)` — endpoint pinning
+        must not depend on float rounding of the interpolation."""
+        from repro.model.tuning import delta_grid
+
+        grid = delta_grid(samples)
+        assert len(grid) == samples
+        assert grid[0] == 0.5
+        assert grid[-1] == 2.0 / 3.0
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_feasible_deltas_include_exact_endpoints(self):
+        cands = feasible_deltas(8192, 4096, memory_words=1e18)
+        assert cands[0] == 0.5
+        assert cands[-1] == 2.0 / 3.0
+
+    def test_best_delta_ties_prefer_smaller_delta(self):
+        # All-zero params: every δ costs 0.0; the scan must stay
+        # deterministic and return the smallest candidate.
+        params = MachineParams(gamma=0.0, beta=0.0, nu=0.0, alpha=0.0)
+        d, t = best_delta(8192, 4096, params)
+        assert d == 0.5
+        assert t == 0.0
+
     def test_tuning_table_fields(self):
         rows = tuning_table(4096, 256, MachineParams())
         assert len(rows) == 9

@@ -68,3 +68,28 @@ class TestGroupAssignment:
         for ph in pipeline_schedule(48, 8, 4):
             groups = [group_of_step(s, 48, 8) for s in ph.steps]
             assert len(set(groups)) == len(groups)
+
+    @pytest.mark.parametrize("n,b,h", [(44, 16, 8), (76, 16, 8), (50, 8, 4)])
+    def test_ragged_band_keeps_groups_disjoint(self, n, b, h):
+        """Regression: with b ∤ n the group count must be ⌈n/b⌉, not ⌊n/b⌋.
+
+        Flooring wrapped the ragged chain's extra chase onto group 0, so two
+        *same-phase* steps of one pipeline phase landed on the same processor
+        group — serializing steps the schedule proves disjoint and
+        double-charging that group's ranks.
+        """
+        assert n % b != 0  # the configurations that used to collide
+        for ph in pipeline_schedule(n, b, h):
+            groups = [group_of_step(s, n, b) for s in ph.steps]
+            assert len(set(groups)) == len(groups), f"phase {ph.phase} collides"
+        checks = schedule_checks(n, b, h)
+        assert checks["groups_disjoint"]
+
+    @pytest.mark.parametrize("n,b,h", [(48, 8, 4), (64, 16, 4), (44, 16, 8)])
+    def test_schedule_checks_report_groups_disjoint(self, n, b, h):
+        assert schedule_checks(n, b, h)["groups_disjoint"]
+
+    def test_group_count_is_ceil(self):
+        # 5 chases per chain at (44, 16): indices 0..4 with no wrap-around.
+        seen = {group_of_step(s, 44, 16) for s in chase_steps(44, 16, 8)}
+        assert seen == set(range(-(-44 // 16)))
