@@ -30,6 +30,7 @@ Package map:
 ``repro.eig``    the eigensolvers and Table I baselines — Section IV
 ``repro.model``  closed-form cost bounds, Table I, tuning
 ``repro.report`` ASCII tables and the paper's Figures 1–2
+``repro.faults`` seeded fault injection, ABFT detection, recovery
 ==============  =====================================================
 """
 
@@ -45,6 +46,7 @@ from repro.eig import (
     eigensolve_scalapack_like,
     full_to_band_2p5d,
 )
+from repro.faults import FaultPlan, FaultyMachine
 from repro.model import eigensolver_2p5d_cost, render_table1
 
 __version__ = "1.0.0"
@@ -67,5 +69,7 @@ __all__ = [
     "eigensolve_ca_sbr",
     "eigensolver_2p5d_cost",
     "render_table1",
+    "FaultyMachine",
+    "FaultPlan",
     "__version__",
 ]

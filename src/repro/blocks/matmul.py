@@ -141,4 +141,10 @@ def carma_matmul(
             per_rank = (m * n + n * k) / group.size
             machine.charge_comm_batch(group, per_rank, per_rank)
             machine.superstep(group, 1)
-        return _rec(machine, a, b, group, memory_words, tag)
+        c = _rec(machine, a, b, group, memory_words, tag)
+        if machine.faults.enabled:
+            from repro.faults.abft import abft_check  # late import: faults wraps bsp
+
+            c = machine.faults.corrupt_output(c, "carma")
+            abft_check(machine, group, a, b, c, site="carma")
+        return c

@@ -98,6 +98,11 @@ def streaming_matmul(
                 machine.charge_comm_batch(group, rs, rs)
                 machine.charge_flops(group, rs)
             machine.superstep(group, 2)
+        if machine.faults.enabled:
+            from repro.faults.abft import abft_check  # late import: faults wraps bsp
+
+            c_out = machine.faults.corrupt_output(c_out, "streaming_mm")
+            abft_check(machine, group, a, b, c_out, site="streaming_mm")
     machine.trace.record(
         "streaming_mm", group.ranks, words=float(m * k + n * k), flops=2.0 * m * n * k, tag=tag
     )

@@ -67,5 +67,10 @@ def summa_matmul(
                 machine.mem_stream(r, a_sliver + b_sliver + (m / q) * (k / q))
             machine.superstep(group, 2)
         machine.note_memory(group, (m * n + n * k + m * k) / p + a_sliver + b_sliver)
+        if machine.faults.enabled:
+            from repro.faults.abft import abft_check  # late import: faults wraps bsp
+
+            c = machine.faults.corrupt_output(c, "summa")
+            abft_check(machine, group, a, b, c, site="summa")
     machine.trace.record("summa", group.ranks, words=float(m * n + n * k), flops=2.0 * m * n * k, tag=tag)
     return c

@@ -40,6 +40,17 @@ def _check(machine: BSPMachine, group: RankGroup, words: float) -> None:
         raise ValueError("words must be nonnegative")
 
 
+def _retransmit_on_drop(machine: BSPMachine, site: str, group: RankGroup, charge) -> None:
+    """Fault-layer hook: a dropped payload is healed by retransmission.
+
+    ``charge`` re-issues the collective's own charges, so the recovery
+    words and barriers land in the surrounding span.  With faults off this
+    is one attribute read (see :data:`repro.bsp.machine.NO_FAULTS`).
+    """
+    if machine.faults.enabled:
+        machine.faults.on_collective(site, group, charge)
+
+
 def _root_index(group: RankGroup, root: int | None) -> tuple[int, int]:
     """Resolve the root rank and its position within the group."""
     root = group.root if root is None else root
@@ -61,9 +72,13 @@ def bcast(machine: BSPMachine, group: RankGroup, words: float, root: int | None 
     recvs = np.full(g, share + (g - 1) * share)
     sends[ri] = (2 * (g - 1)) * share
     recvs[ri] = (g - 1) * share
-    with machine.span("bcast", group=group):
+    def _charge() -> None:
         machine.charge_comm_batch(group, sends, recvs)
         machine.superstep(group, 2)
+
+    with machine.span("bcast", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "bcast", group, _charge)
     machine.trace.record("bcast", group.ranks, words=words, tag=tag, root=root)
 
 
@@ -81,10 +96,14 @@ def reduce(machine: BSPMachine, group: RankGroup, words: float, root: int | None
     recvs = np.full(g, base)
     sends[ri] = base
     recvs[ri] = base + base
-    with machine.span("reduce", group=group):
+    def _charge() -> None:
         machine.charge_comm_batch(group, sends, recvs)
         machine.charge_flops(group, base)
         machine.superstep(group, 2)
+
+    with machine.span("reduce", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "reduce", group, _charge)
     machine.trace.record("reduce", group.ranks, words=words, tag=tag, root=root)
 
 
@@ -96,10 +115,14 @@ def allreduce(machine: BSPMachine, group: RankGroup, words: float, tag: str = ""
         return
     share = words / g
     per_rank = 2 * (g - 1) * share
-    with machine.span("allreduce", group=group):
+    def _charge() -> None:
         machine.charge_comm_batch(group, per_rank, per_rank)
         machine.charge_flops(group, (g - 1) * share)
         machine.superstep(group, 2)
+
+    with machine.span("allreduce", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "allreduce", group, _charge)
     machine.trace.record("allreduce", group.ranks, words=words, tag=tag)
 
 
@@ -111,10 +134,14 @@ def reduce_scatter(machine: BSPMachine, group: RankGroup, words_total: float, ta
         return
     share = words_total / g
     per_rank = (g - 1) * share
-    with machine.span("reduce_scatter", group=group):
+    def _charge() -> None:
         machine.charge_comm_batch(group, per_rank, per_rank)
         machine.charge_flops(group, per_rank)
         machine.superstep(group, 1)
+
+    with machine.span("reduce_scatter", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "reduce_scatter", group, _charge)
     machine.trace.record("reduce_scatter", group.ranks, words=words_total, tag=tag)
 
 
@@ -125,9 +152,13 @@ def allgather(machine: BSPMachine, group: RankGroup, words_each: float, tag: str
     if g == 1 or words_each == 0:
         return
     per_rank = (g - 1) * words_each
-    with machine.span("allgather", group=group):
+    def _charge() -> None:
         machine.charge_comm_batch(group, per_rank, per_rank)
         machine.superstep(group, 1)
+
+    with machine.span("allgather", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "allgather", group, _charge)
     machine.trace.record("allgather", group.ranks, words=g * words_each, tag=tag)
 
 
@@ -142,9 +173,13 @@ def gather(machine: BSPMachine, group: RankGroup, words_each: float, root: int |
     recvs = np.zeros(g)
     sends[ri] = 0.0
     recvs[ri] = (g - 1) * words_each
-    with machine.span("gather", group=group):
+    def _charge() -> None:
         machine.charge_comm_batch(group, sends, recvs)
         machine.superstep(group, 1)
+
+    with machine.span("gather", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "gather", group, _charge)
     machine.trace.record("gather", group.ranks, words=g * words_each, tag=tag, root=root)
 
 
@@ -159,9 +194,13 @@ def scatter(machine: BSPMachine, group: RankGroup, words_each: float, root: int 
     recvs = np.full(g, words_each)
     sends[ri] = (g - 1) * words_each
     recvs[ri] = 0.0
-    with machine.span("scatter", group=group):
+    def _charge() -> None:
         machine.charge_comm_batch(group, sends, recvs)
         machine.superstep(group, 1)
+
+    with machine.span("scatter", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "scatter", group, _charge)
     machine.trace.record("scatter", group.ranks, words=g * words_each, tag=tag, root=root)
 
 
@@ -187,9 +226,13 @@ def alltoall(machine: BSPMachine, group: RankGroup, transfers: dict[tuple[int, i
         sends[src] = sends.get(src, 0.0) + w
         recvs[dst] = recvs.get(dst, 0.0) + w
         total += w
-    with machine.span("alltoall", group=group):
+    def _charge() -> None:
         machine.charge_comm(sends=sends, recvs=recvs)
         machine.superstep(group, 1)
+
+    with machine.span("alltoall", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "alltoall", group, _charge)
     machine.trace.record("alltoall", group.ranks, words=total, tag=tag)
 
 
@@ -202,9 +245,13 @@ def alltoall_matrix(machine: BSPMachine, group: RankGroup, matrix, tag: str = ""
     """
     machine.check_group(group)
     mat = np.asarray(matrix, dtype=np.float64)
-    with machine.span("alltoall", group=group):
+    def _charge() -> None:
         machine.charge_comm_matrix(group, mat)
         machine.superstep(group, 1)
+
+    with machine.span("alltoall", group=group):
+        _charge()
+        _retransmit_on_drop(machine, "alltoall", group, _charge)
     if machine.trace.enabled:
         off = mat.copy()
         np.fill_diagonal(off, 0.0)

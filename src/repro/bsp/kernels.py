@@ -197,6 +197,8 @@ def sharded_matvec(
     with machine.span("sharded_matvec", group=_span_group(ranks)):
         machine.charge_flops(ranks, 2.0 * m * n / g)
         machine.mem_stream_group(ranks, m * n / g)
+    if machine.faults.enabled:
+        y = machine.faults.corrupt_output(y, "sharded_matvec")
     return y
 
 
@@ -226,6 +228,8 @@ def sharded_axpy(machine: BSPMachine, ranks, alpha: float, x: np.ndarray, y: np.
     with machine.span("sharded_axpy", group=_span_group(ranks)):
         machine.charge_flops(ranks, 2.0 * n / g)
         machine.mem_stream_group(ranks, 2.0 * n / g)
+    if machine.faults.enabled:
+        machine.faults.corrupt_output(y, "sharded_axpy")
     return y
 
 
@@ -244,4 +248,6 @@ def sharded_rank2_update(machine: BSPMachine, ranks, a: np.ndarray, v: np.ndarra
     with machine.span("sharded_rank2_update", group=_span_group(ranks)):
         machine.charge_flops(ranks, 4.0 * m * n / g)
         machine.mem_stream_group(ranks, m * n / g)
+    if machine.faults.enabled:
+        machine.faults.corrupt_output(a, "sharded_rank2_update")
     return a

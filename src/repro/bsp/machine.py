@@ -30,7 +30,7 @@ a g×g transfer matrix — without building Python dicts in inner loops.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Iterable, Mapping, Union
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Union
 
 import numpy as np
 
@@ -47,6 +47,28 @@ if TYPE_CHECKING:
 
 #: valid accounting engines (see module docstring)
 ENGINES = ("array", "scalar")
+
+
+class NoFaults:
+    """Inert fault layer installed on every machine by default.
+
+    :class:`repro.faults.FaultyMachine` replaces it with a live injector;
+    instrumented sites gate on ``machine.faults.enabled``, so the default
+    path costs a single attribute read and charges nothing (the bench wall
+    and all cost reports are unchanged with faults off).
+    """
+
+    __slots__ = ()
+
+    enabled: bool = False
+    failed_ranks: frozenset = frozenset()
+
+    def live_group(self, group: "RankGroup") -> "RankGroup":
+        return group
+
+
+#: shared no-op fault layer (cf. NULL_SPAN)
+NO_FAULTS = NoFaults()
 
 #: either counter store; both implement the same accumulation interface
 CounterStore = Union[CounterArray, "ScalarCounterStore"]
@@ -83,6 +105,10 @@ class BSPMachine:
             spans = os.environ.get("REPRO_SPANS", "") not in ("", "0")
         self.spans = SpanRecorder(self.counters, self.params, enabled=spans)
         self.world = RankGroup(tuple(range(self.p)))
+        # Fault layer: a shared no-op here; FaultyMachine installs a live
+        # injector.  Typed Any because the injector lives in repro.faults,
+        # which imports this module.
+        self.faults: Any = NO_FAULTS
 
     # ------------------------------------------------------------------ #
     # validation helpers

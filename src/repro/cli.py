@@ -13,6 +13,9 @@ bench    wall-clock benchmark of the accounting engine itself; with
          ``--check`` gates against a committed BENCH_engine.json baseline
 trace    run one eigensolve with span tracing on, print the critical-path
          breakdown, and export a Chrome trace-event JSON (Perfetto)
+chaos    sweep seeded fault scenarios over the pinned eigensolve and
+         assert the chaos invariant: every run recovers or fails with a
+         typed, span-attributed error (see docs/robustness.md)
 table1   print the paper's Table I, symbolically and evaluated at (n, p)
 figure1  print the Figure 1 structure diagram (Algorithm IV.1)
 figure2  print the Figure 2 pipeline diagram (Algorithm IV.2)
@@ -25,6 +28,12 @@ import argparse
 import sys
 
 
+def _fail(msg: str) -> int:
+    """Uniform CLI failure path: one-line diagnostic on stderr, exit 2."""
+    print(f"repro: error: {msg}", file=sys.stderr)
+    return 2
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro import BSPMachine, eigensolve_2p5d
     from repro.util import random_symmetric
@@ -35,14 +44,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         from repro.lint.verify import VerifiedMachine
 
         machine: BSPMachine = VerifiedMachine.for_problem(args.p, args.n, args.delta)
+    elif args.faults:
+        from repro.faults import FaultPlan, FaultyMachine, parse_faults
+
+        spec, fault_seed = parse_faults(args.faults)
+        machine = FaultyMachine(args.p, plan=FaultPlan(spec, fault_seed), spans=True)
     else:
-        machine = BSPMachine(args.p)
+        from repro.faults import machine_from_env
+
+        machine = machine_from_env(args.p)
     res = eigensolve_2p5d(machine, a, delta=args.delta)
     err = reference_spectrum_error(a, res.eigenvalues)
     print(f"n={args.n} p={args.p} delta={res.delta:.3f} c={res.replication} b0={res.initial_bandwidth}")
     print(f"lambda_min={res.eigenvalues[0]:+.6f}  lambda_max={res.eigenvalues[-1]:+.6f}")
     print(f"max |lambda - numpy| = {err:.3e}")
     print(res.stage_summary())
+    if machine.faults.enabled:
+        print(machine.plan.summary())
     if args.verify:
         print(
             f"verified: {machine.checks_run} invariant checks "
@@ -135,6 +153,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import render_report, run_chaos, write_report
+
+    outcomes = run_chaos(
+        range(args.seed0, args.seed0 + args.seeds),
+        n=args.n, p=args.p, delta=args.delta, tol=args.tol,
+    )
+    print(render_report(outcomes, n=args.n, p=args.p))
+    out = write_report(outcomes, args.out, n=args.n, p=args.p)
+    print(f"\nwrote {out}")
+    bad = [o for o in outcomes if not o.ok]
+    if bad:
+        seeds = ", ".join(str(o.seed) for o in bad)
+        print(
+            f"chaos FAILED: {len(bad)} run(s) returned a silently wrong "
+            f"spectrum (seeds {seeds})",
+            file=sys.stderr,
+        )
+        return 1
+    recovered = sum(o.outcome == "recovered" for o in outcomes)
+    typed = sum(o.outcome == "typed-error" for o in outcomes)
+    print(
+        f"chaos invariant holds: {recovered} recovered, {typed} failed with "
+        "typed span-attributed errors, 0 silently wrong"
+    )
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.model.table1 import render_table1, table1_numeric
     from repro.report.tables import format_table
@@ -212,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="run on a VerifiedMachine asserting BSP discipline invariants per superstep",
         )
+        p_solve.add_argument(
+            "--faults",
+            default="",
+            metavar="SCENARIO[:SEED]",
+            help="run on a FaultyMachine injecting the named seeded fault "
+            "scenario (also honored via REPRO_FAULTS; see repro chaos)",
+        )
         p_solve.set_defaults(fn=_cmd_solve)
 
     from pathlib import Path
@@ -270,6 +323,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.set_defaults(fn=_cmd_trace)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-scenario sweep over the pinned eigensolve",
+    )
+    p_chaos.add_argument("--n", type=int, default=96)
+    p_chaos.add_argument("--p", type=int, default=16)
+    p_chaos.add_argument("--delta", type=float, default=2.0 / 3.0)
+    p_chaos.add_argument("--seeds", type=int, default=8, help="number of seeded runs")
+    p_chaos.add_argument("--seed0", type=int, default=0, help="first seed of the sweep")
+    p_chaos.add_argument(
+        "--tol", type=float, default=1e-6,
+        help="spectrum tolerance of the recovered verdict (clean-run gate)",
+    )
+    p_chaos.add_argument(
+        "--out",
+        type=Path,
+        default=Path("benchmarks") / "results" / "chaos_report.json",
+        help="per-scenario outcome report JSON (the CI artifact)",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
+
     p_t1 = sub.add_parser("table1", help="print Table I")
     p_t1.add_argument("--n", type=int, default=65536)
     p_t1.add_argument("--p", type=int, default=32768)
@@ -301,7 +375,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from repro.faults.errors import FaultError
+
+    try:
+        return args.fn(args)
+    except FaultError as exc:
+        # typed fault-layer errors already carry their span attribution
+        return _fail(str(exc))
+    except (ValueError, TypeError, FileNotFoundError, NotImplementedError) as exc:
+        # invalid n/p/delta combinations etc. — one-line diagnostic, not a
+        # traceback (matching _cmd_bench's BenchError handling)
+        return _fail(str(exc))
 
 
 if __name__ == "__main__":

@@ -89,7 +89,10 @@ class DistBandMatrix:
         self.machine.charge_comm(sends=sends, recvs=recvs)
         self.machine.superstep(involved, 1)
         self.machine.trace.record("band_fetch", involved.ranks, words=words, tag=tag)
-        return window.copy()
+        window = window.copy()
+        if self.machine.faults.enabled:
+            self.machine.faults.corrupt_window(window, f"fetch_window:{tag}")
+        return window
 
     def charge_store(self, rows: slice, cols: slice, from_group: RankGroup, tag: str = "store") -> None:
         """Charge the write-back of a window from ``from_group`` to the
@@ -133,6 +136,11 @@ class DistBandMatrix:
         self.machine.superstep(group, 1)
         self.machine.note_memory(target, float(self.words))
         self.machine.trace.record("gather", group.ranks, words=recvs[target], tag=tag)
+        if self.machine.faults.enabled:
+            # NOTE: gather returns the live array, so a flip here corrupts
+            # the band itself — exactly the failure the finish stage's
+            # checkpoint + tridiagonal guard must catch and roll back.
+            self.machine.faults.corrupt_window(self.data, f"band_gather:{tag}")
         return self.data
 
     def redistribute(self, new_group: RankGroup, tag: str = "band_redist") -> "DistBandMatrix":

@@ -22,28 +22,48 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bsp.counters import CostReport
+from repro.bsp.group import RankGroup
 from repro.bsp.machine import BSPMachine
 from repro.dist.banded import DistBandMatrix
 from repro.dist.grid import ProcGrid, factor_2p5d
 from repro.eig.band_to_band import band_to_band_2p5d
 from repro.eig.ca_sbr import ca_sbr_reduce
 from repro.eig.full_to_band import full_to_band_2p5d
+from repro.faults.errors import UnrecoverableFault
+from repro.faults.recovery import (
+    Checkpoint,
+    guard_band,
+    guard_spectrum,
+    guard_tridiagonal,
+    run_stage,
+)
 from repro.linalg.sbr import tridiagonalize_band_seq
 from repro.linalg.tridiag import sturm_bisection_eigenvalues
+from repro.model.tuning import replan_delta
 from repro.util.intlog import next_power_of_two
-from repro.util.validation import check_symmetric, reference_spectrum_error
+from repro.util.validation import check_symmetric, frobenius_norm, reference_spectrum_error
 
 
-def finish_sequential(machine: BSPMachine, band: DistBandMatrix, tag: str = "finish") -> np.ndarray:
-    """Gather the narrow band on rank 0 and compute its eigenvalues there.
+def finish_sequential(
+    machine: BSPMachine, band: DistBandMatrix, tag: str = "finish", root: int = 0
+) -> np.ndarray:
+    """Gather the narrow band on ``root`` and compute its eigenvalues there.
 
-    Charges rank 0 the sequential band→tridiagonal work (O(n·b²) flops,
+    Charges ``root`` the sequential band→tridiagonal work (O(n·b²) flops,
     O(n·b·log b) streaming) and the Sturm bisection (O(n²) per sweep).
+    Under fault injection the gathered band and the extracted tridiagonal
+    are both guarded (the gather may corrupt the live band — the caller's
+    checkpoint restores it on retry).
     """
     n, b = band.n, band.b
+    faulty = machine.faults.enabled
     with machine.span("finish"):
-        data = band.gather(0, tag=f"{tag}:gather")
-        root = 0
+        if faulty:
+            norm0 = frobenius_norm(band.data)  # before the (corruptible) gather
+        data = band.gather(root, tag=f"{tag}:gather")
+        if faulty:
+            guard_band(machine, data, b, norm0, "finish:gather",
+                       RankGroup((root,)))
         if b > 1:
             tri = tridiagonalize_band_seq(data, b)
             machine.charge_flops(root, 8.0 * n * b * b)
@@ -53,6 +73,10 @@ def finish_sequential(machine: BSPMachine, band: DistBandMatrix, tag: str = "fin
         else:
             d = np.diag(data).copy()
             e = np.diag(data, -1).copy()
+        if faulty:
+            machine.faults.corrupt_output(d, "finish:tridiag")
+            machine.faults.corrupt_output(e, "finish:tridiag")
+            guard_tridiagonal(machine, d, e, norm0, root)
         evals = sturm_bisection_eigenvalues(d, e)
         machine.charge_flops(root, 64.0 * 5.0 * n * n)
         machine.mem_stream(root, 64.0 * 2.0 * n)
@@ -128,17 +152,50 @@ def eigensolve_2p5d(
             stages.append((name, now - mark))
             mark = now
 
+    # Fault tolerance: with a live injector, each stage runs under
+    # run_stage (checkpoint -> guard -> bounded retries; on a rank loss the
+    # grid shrinks to the survivors and delta is re-planned).  With faults
+    # off every branch below is the plain call — charge-for-charge
+    # identical to a machine without the fault layer.
+    ft = machine.faults.enabled
+    norm_a = frobenius_norm(a) if ft else 0.0
+
     with machine.span(tag):
         # Stage 1: full → band.
-        banded = full_to_band_2p5d(machine, grid, a, b, tag=f"{tag}:f2b")
+        if ft:
+            def run_f2b() -> np.ndarray:
+                return full_to_band_2p5d(machine, grid, a, b, tag=f"{tag}:f2b")
+
+            def loss_f2b(survivors: RankGroup) -> None:
+                nonlocal grid, delta_eff
+                p_bar = survivors.size
+                d_new = replan_delta(n, p_bar, machine.params)
+                q2, c2 = factor_2p5d(p_bar, d_new)
+                grid = ProcGrid(machine, (q2, q2, c2), survivors.take(q2 * q2 * c2))
+                delta_eff = 0.5 if p_bar == 1 else 0.5 * (1.0 + np.log(c2) / np.log(p_bar))
+
+            ckpt = Checkpoint(machine, "full_to_band", {"A": a}, grid.group())
+            banded = run_stage(
+                machine, "full_to_band", run_f2b,
+                checkpoint=ckpt,
+                guard=lambda out: guard_band(
+                    machine, out, b, norm_a, "full_to_band", grid.group()),
+                on_rank_loss=loss_f2b,
+            )
+        else:
+            banded = full_to_band_2p5d(machine, grid, a, b, tag=f"{tag}:f2b")
         snapshot(f"full_to_band(b={b})")
-        band = DistBandMatrix(machine, banded, b, machine.world)
+        world = machine.faults.live_group(machine.world)
+        if world is None:
+            raise UnrecoverableFault("no surviving ranks", span=tag)
+        p_live = world.size
+        band = DistBandMatrix(machine, banded, b, world)
 
         # Stage 2: 2.5D band-to-band halvings down to ~n/p^δ, shrinking the
         # active group by k^ζ each stage (ζ = (1−δ)/δ).
         zeta = (1.0 - delta_eff) / delta_eff
-        target2 = max(2, int(np.ceil(n / p**delta_eff)))
-        active = machine.world
+        target2 = max(2, int(np.ceil(n / p_live**delta_eff)))
+        active = world
         stage_idx = 0
         while band.b > target2 and band.b % k == 0 and band.b >= 2:
             if stage_idx > 0:
@@ -147,23 +204,83 @@ def eigensolve_2p5d(
                     active = active.take(new_size)
                     with machine.span("shrink", group=active):
                         band = band.redistribute(active, tag=f"{tag}:shrink{stage_idx}")
-            band = band_to_band_2p5d(machine, band, k=k, tag=f"{tag}:b2b{stage_idx}")
+            if ft:
+                idx = stage_idx
+
+                def run_b2b() -> DistBandMatrix:
+                    return band_to_band_2p5d(machine, band, k=k, tag=f"{tag}:b2b{idx}")
+
+                def loss_b2b(survivors: RankGroup) -> None:
+                    nonlocal band, active
+                    active = survivors.take(min(active.size, survivors.size))
+                    band = band.redistribute(active, tag=f"{tag}:b2b{idx}:failover")
+
+                ckpt = Checkpoint(machine, f"band_to_band[{idx}]",
+                                  {"band": band.data}, active)
+                band = run_stage(
+                    machine, f"band_to_band[{idx}]", run_b2b,
+                    checkpoint=ckpt,
+                    guard=lambda out: guard_band(
+                        machine, out.data, out.b, norm_a,
+                        f"band_to_band[{idx}]", out.group),
+                    on_rank_loss=loss_b2b,
+                )
+            else:
+                band = band_to_band_2p5d(machine, band, k=k, tag=f"{tag}:b2b{stage_idx}")
             snapshot(f"band_to_band(b={band.b * k}->{band.b}, p={active.size})")
             stage_idx += 1
 
         # Stage 3: CA-SBR halvings on p^δ ranks down to ~n/p.
-        target3 = max(1, n // p)
+        target3 = max(1, n // p_live)
         if band.b > target3:
-            small = machine.world.take(max(1, int(round(p**delta_eff))))
+            small = world.take(max(1, int(round(p_live**delta_eff))))
             if small.size < band.group.size:
                 with machine.span("shrink", group=small):
                     band = band.redistribute(small, tag=f"{tag}:shrink_sbr")
             start_b = band.b
-            band = ca_sbr_reduce(machine, band, target3, tag=f"{tag}:sbr")
+            if ft:
+                def run_sbr() -> DistBandMatrix:
+                    return ca_sbr_reduce(machine, band, target3, tag=f"{tag}:sbr")
+
+                def loss_sbr(survivors: RankGroup) -> None:
+                    nonlocal band, small
+                    small = survivors.take(min(small.size, survivors.size))
+                    band = band.redistribute(small, tag=f"{tag}:sbr:failover")
+
+                ckpt = Checkpoint(machine, "ca_sbr", {"band": band.data}, small)
+                band = run_stage(
+                    machine, "ca_sbr", run_sbr,
+                    checkpoint=ckpt,
+                    guard=lambda out: guard_band(
+                        machine, out.data, out.b, norm_a, "ca_sbr", out.group),
+                    on_rank_loss=loss_sbr,
+                )
+            else:
+                band = ca_sbr_reduce(machine, band, target3, tag=f"{tag}:sbr")
             snapshot(f"ca_sbr(b={start_b}->{band.b}, p={small.size})")
 
         # Stage 4: sequential finish.
-        evals = finish_sequential(machine, band, tag=tag)
+        if ft:
+            root = world.root
+
+            def run_finish() -> np.ndarray:
+                return finish_sequential(machine, band, tag=tag, root=root)
+
+            def loss_finish(survivors: RankGroup) -> None:
+                nonlocal band, root
+                regrouped = survivors.take(min(band.group.size, survivors.size))
+                band = band.redistribute(regrouped, tag=f"{tag}:finish:failover")
+                root = regrouped.root
+
+            ckpt = Checkpoint(machine, "finish", {"band": band.data}, band.group)
+            evals = run_stage(
+                machine, "finish", run_finish,
+                checkpoint=ckpt,
+                guard=lambda out: guard_spectrum(machine, out, n, root),
+                on_rank_loss=loss_finish,
+            )
+        else:
+            evals = finish_sequential(machine, band, tag=tag)
         snapshot("finish")
 
     return EigensolveResult(

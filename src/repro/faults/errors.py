@@ -1,0 +1,58 @@
+"""Typed fault-layer exceptions.
+
+Every error the fault subsystem raises is one of these, and every one names
+the innermost open cost-attribution span at the moment of detection (or
+``"(untraced)"`` when span tracing is off).  The chaos invariant — a faulty
+run either recovers or fails with a *typed, span-attributed* error — leans
+on this hierarchy: anything else escaping the pipeline is a bug.
+"""
+
+from __future__ import annotations
+
+from repro.trace.spans import UNTRACED
+
+
+def current_span(machine) -> str:
+    """The innermost open span path of ``machine``, for error attribution."""
+    spans = getattr(machine, "spans", None)
+    if spans is not None and spans.enabled and spans.depth:
+        return spans.open_paths()[-1]
+    return UNTRACED
+
+
+class FaultError(RuntimeError):
+    """Base class of every fault-layer error."""
+
+
+class FaultDetected(FaultError):
+    """A fault was *detected* — by ABFT, an invariant guard, or the runtime.
+
+    Recoverable in principle: the driver's retry loop catches these,
+    restores the stage checkpoint, and re-executes.
+    """
+
+    def __init__(self, message: str, *, span: str = UNTRACED, site: str = ""):
+        super().__init__(f"{message} [span: {span}]")
+        self.span = span
+        self.site = site
+
+
+class CorruptData(FaultDetected):
+    """Data failed a checksum or invariant check (silent corruption caught)."""
+
+
+class RankFailure(FaultDetected):
+    """A rank died at a superstep barrier (fail-stop model)."""
+
+    def __init__(self, message: str, *, rank: int, span: str = UNTRACED, site: str = ""):
+        super().__init__(message, span=span, site=site)
+        self.rank = rank
+
+
+class UnrecoverableFault(FaultError):
+    """Recovery could not restore forward progress (retries exhausted, no
+    surviving ranks, or a stage that cannot reconfigure)."""
+
+    def __init__(self, message: str, *, span: str = UNTRACED):
+        super().__init__(f"{message} [span: {span}]")
+        self.span = span

@@ -61,6 +61,22 @@ def best_delta(n: int, p: int, params: MachineParams) -> tuple[float, float]:
     return best, t_best
 
 
+def replan_delta(n: int, p: int, params: MachineParams) -> float:
+    """δ for a machine *degraded* to ``p`` surviving ranks (fault recovery).
+
+    A total variant of :func:`best_delta`: mid-run recovery must come back
+    with *some* schedule, so an infeasible memory model or a single
+    survivor degrades to δ = 1/2 (the 2-D minimum-memory point) instead of
+    raising.
+    """
+    if p <= 1:
+        return 0.5
+    try:
+        return best_delta(n, p, params)[0]
+    except ValueError:
+        return 0.5
+
+
 def tuning_table(n: int, p: int, params: MachineParams, samples: int = 9) -> list[dict]:
     """Sweep δ and report (δ, c, memory, predicted component times)."""
     rows = []

@@ -40,10 +40,23 @@ def check_square(a: np.ndarray, name: str = "matrix") -> np.ndarray:
     return a
 
 
+def frobenius_norm(a: np.ndarray) -> float:
+    """‖A‖_F as a cost-free host-side oracle.
+
+    Used for relative tolerances here and by the fault layer's
+    norm-preservation guards (every pipeline stage is an orthogonal
+    similarity, which preserves the Frobenius norm); algorithms that
+    *compute* with norms must charge through the machine instead.
+    """
+    return float(np.linalg.norm(np.asarray(a, dtype=np.float64)))
+
+
 def check_symmetric(a: np.ndarray, name: str = "matrix", tol: float = 1e-10) -> np.ndarray:
-    """Validate that ``a`` is symmetric to within ``tol`` (relative)."""
+    """Validate that ``a`` is symmetric to within ``tol``, relative to
+    ``max(1, ‖A‖_F)`` so well-conditioned but badly scaled inputs (entries
+    of order 1e6, say) are judged by their own magnitude."""
     a = check_square(a, name)
-    scale = max(1.0, float(np.abs(a).max(initial=0.0)))
+    scale = max(1.0, frobenius_norm(a))
     if np.abs(a - a.T).max(initial=0.0) > tol * scale:
         raise ValueError(f"{name} is not symmetric to tolerance {tol}")
     return a
@@ -53,11 +66,12 @@ def check_banded(a: np.ndarray, bandwidth: int, name: str = "matrix", tol: float
     """Validate that ``a`` has (half) band-width <= ``bandwidth``.
 
     Band-width ``b`` means ``a[i, j] == 0`` whenever ``|i - j| > b``, the
-    convention used throughout the paper.
+    convention used throughout the paper.  The tolerance is relative to
+    ``max(1, ‖A‖_F)``, as in :func:`check_symmetric`.
     """
     a = check_square(a, name)
     n = a.shape[0]
-    scale = max(1.0, float(np.abs(a).max(initial=0.0)))
+    scale = max(1.0, frobenius_norm(a))
     i, j = np.indices((n, n))
     outside = np.abs(i - j) > bandwidth
     if outside.any() and np.abs(a[outside]).max(initial=0.0) > tol * scale:

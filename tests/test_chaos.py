@@ -1,0 +1,101 @@
+"""Tests for the chaos harness (repro.faults.chaos + ``repro chaos``).
+
+The chaos invariant: every seeded fault run either matches the reference
+spectrum within the clean-run tolerance or fails with a typed,
+span-attributed error — never a silently wrong answer.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults.chaos import (
+    SCENARIO_ORDER,
+    ScenarioOutcome,
+    render_report,
+    run_chaos,
+    run_scenario,
+    write_report,
+)
+from repro.faults.plan import SCENARIOS
+
+# small pinned configuration so the sweep stays fast in the suite
+SMALL = dict(n=32, p=4, delta=2.0 / 3.0)
+
+
+class TestRunScenario:
+    def test_clean_seed_recovers_exactly(self):
+        out = run_scenario(0, SCENARIOS["clean"], **SMALL)
+        assert out.outcome == "recovered"
+        assert out.spectrum_error is not None and out.spectrum_error < 1e-10
+        assert out.events == 0 and out.draws == 0
+        assert out.ok
+
+    def test_same_seed_is_reproducible(self):
+        runs = [run_scenario(5, **SMALL) for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_seed_cycles_scenarios(self):
+        for seed, name in enumerate(SCENARIO_ORDER):
+            out = run_scenario(seed, SCENARIOS["clean"], **SMALL)
+            assert out.scenario == "clean"  # explicit spec wins
+        out = run_scenario(1, **SMALL)
+        assert out.scenario == SCENARIO_ORDER[1]
+
+    def test_typed_error_carries_span(self):
+        # hammer the finish stage: unlimited corruption exhausts retries
+        from repro.faults.plan import FaultSpec
+
+        hammer = FaultSpec(name="hammer", kernel_corrupt_prob=1.0,
+                           site_filter=("finish",), max_corruptions=None,
+                           max_rank_failures=0)
+        out = run_scenario(0, hammer, **SMALL)
+        assert out.outcome == "typed-error"
+        assert out.error_type == "UnrecoverableFault"
+        assert out.span and "finish" in out.span
+        assert out.ok  # typed errors satisfy the invariant
+
+
+class TestSweep:
+    def test_invariant_holds_on_small_sweep(self):
+        outcomes = run_chaos(range(len(SCENARIO_ORDER)), **SMALL)
+        assert len(outcomes) == len(SCENARIO_ORDER)
+        assert all(o.ok for o in outcomes)
+        names = [o.scenario for o in outcomes]
+        assert names == list(SCENARIO_ORDER)
+
+    def test_report_rendering_and_json(self, tmp_path):
+        outcomes = run_chaos(range(2), **SMALL)
+        text = render_report(outcomes, n=SMALL["n"], p=SMALL["p"])
+        assert "chaos sweep" in text and "clean" in text
+        path = write_report(outcomes, tmp_path / "chaos.json",
+                            n=SMALL["n"], p=SMALL["p"])
+        doc = json.loads(path.read_text())
+        assert doc["invariant_holds"] is True
+        assert len(doc["outcomes"]) == 2
+        assert doc["outcomes"][0]["scenario"] == "clean"
+        assert isinstance(doc["outcomes"][0]["failed_ranks"], list)
+
+    def test_outcome_ok_classification(self):
+        bad = ScenarioOutcome(0, "x", "silent-wrong", 1.0, None, None, None,
+                              0, 0, (), 0, "")
+        assert not bad.ok
+
+
+class TestChaosCLI:
+    def test_cli_sweep_writes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        rc = main(["chaos", "--n", "32", "--p", "4", "--seeds", "2",
+                   "--out", str(out_path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "chaos invariant holds" in captured.out
+        assert "0 silently wrong" in captured.out
+        assert json.loads(out_path.read_text())["invariant_holds"] is True
+
+    def test_cli_seed0_offsets_the_sweep(self, tmp_path, capsys):
+        rc = main(["chaos", "--n", "32", "--p", "4", "--seeds", "1",
+                   "--seed0", "1", "--out", str(tmp_path / "r.json")])
+        assert rc == 0
+        assert "rank-failure" in capsys.readouterr().out

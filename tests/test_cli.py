@@ -91,3 +91,49 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestInvalidConfigs:
+    """Invalid n/p/delta exit 2 with a one-line diagnostic, not a traceback."""
+
+    def test_n_smaller_than_p(self, capsys):
+        rc = main(["solve", "--n", "8", "--p", "16"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "n >= p" in err
+
+    def test_nonpositive_p(self, capsys):
+        rc = main(["solve", "--n", "48", "--p", "0"])
+        assert rc == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_delta_out_of_range(self, capsys):
+        rc = main(["solve", "--n", "48", "--p", "4", "--delta", "0.9"])
+        assert rc == 2
+        assert "delta" in capsys.readouterr().err
+
+    def test_trace_validates_too(self, capsys):
+        rc = main(["trace", "--n", "8", "--p", "16"])
+        assert rc == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestSolveFaults:
+    def test_clean_scenario_prints_plan_summary(self, capsys):
+        rc = main(["solve", "--n", "32", "--p", "4", "--faults", "clean"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FaultPlan('clean', seed=0): 0 draws, 0 events" in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        rc = main(["solve", "--n", "32", "--p", "4", "--faults", "nonsense"])
+        assert rc == 2
+        assert "unknown fault scenario" in capsys.readouterr().err
+
+    def test_injected_scenario_reports_events(self, capsys):
+        rc = main(["solve", "--n", "32", "--p", "4",
+                   "--faults", "message-drop:2"])
+        out = capsys.readouterr().out
+        assert rc == 0  # drops are healed by charged retransmission
+        assert "FaultPlan('message-drop', seed=2)" in out

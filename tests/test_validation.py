@@ -18,6 +18,7 @@ from repro.util.validation import (
     check_power_of_two,
     check_square,
     check_symmetric,
+    frobenius_norm,
     matrix_bandwidth,
 )
 
@@ -67,6 +68,38 @@ class TestCheckers:
         assert matrix_bandwidth(np.eye(5)) == 0
         assert matrix_bandwidth(wilkinson(7)) == 1
         assert matrix_bandwidth(random_banded_symmetric(16, 3, seed=2)) == 3
+
+
+class TestFrobeniusRelativeTolerances:
+    """Regression (large-scale inputs): tolerances are relative to
+    ``max(1, ‖A‖_F)``, so 1e6-scale matrices are judged by their own
+    magnitude instead of an absolute threshold."""
+
+    def test_frobenius_norm_matches_numpy(self):
+        a = random_symmetric(12, seed=0)
+        assert frobenius_norm(a) == float(np.linalg.norm(a))
+        assert frobenius_norm(np.zeros((3, 3))) == 0.0
+
+    def test_large_scale_symmetric_passes(self):
+        # float roundoff on 1e6-scale entries exceeds any absolute 1e-10
+        # gate but is far inside the Frobenius-relative one
+        a = 1e6 * random_symmetric(64, seed=1)
+        a[0, 1] += 1e-6  # absolute skew ~ eps * ‖A‖_F
+        check_symmetric(a)
+
+    def test_large_scale_asymmetry_still_rejected(self):
+        a = 1e6 * random_symmetric(64, seed=1)
+        a[0, 1] += 0.1 * frobenius_norm(a)  # genuinely asymmetric
+        with pytest.raises(ValueError, match="symmetric"):
+            check_symmetric(a)
+
+    def test_large_scale_banded(self):
+        a = 1e6 * random_banded_symmetric(64, 3, seed=2)
+        a[0, 40] = a[40, 0] = 1e-6  # negligible relative to ‖A‖_F
+        check_banded(a, 3)
+        a[0, 40] = a[40, 0] = frobenius_norm(a)  # genuine fill
+        with pytest.raises(ValueError, match="band-width"):
+            check_banded(a, 3)
 
 
 class TestGenerators:
