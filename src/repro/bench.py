@@ -331,20 +331,27 @@ def check_with_retries(
     wall_tolerance: float = WALL_TOLERANCE,
     retries: int = WALL_RETRIES,
     log: Callable[[str], None] = print,
+    check: Callable[[dict[str, Any], dict[str, Any], float], list[str]] | None = None,
 ) -> tuple[dict[str, Any], list[str]]:
     """Gate with best-of-k retries for *wall-only* failures.
 
     Wall-clock on a loaded CI host is the one non-deterministic gate input;
-    when every failure from :func:`check_against_baseline` is a wall-clock
-    regression, the suite is re-timed (via ``rerun``) up to ``retries``
-    times and the gate re-evaluated.  Any simulated-cost drift or
-    speedup-floor violation short-circuits immediately — those are
-    deterministic and a retry would only mask a real regression.
+    when every failure from ``check`` (default
+    :func:`check_against_baseline`) is a wall-clock regression, the suite
+    is re-timed (via ``rerun``) up to ``retries`` times and the gate
+    re-evaluated.  Any simulated-cost drift or speedup-floor violation
+    short-circuits immediately — those are deterministic and a retry would
+    only mask a real regression.  Fully deterministic gates (e.g. the
+    ``repro metrics`` conservation/attainment check) reuse this entry point
+    with their own ``check``; none of their failures mention wall clocks,
+    so they never retry.
 
     Returns ``(results, failures)`` where ``results`` is the run the final
     verdict was computed from.
     """
-    failures = check_against_baseline(results, baseline, wall_tolerance)
+    if check is None:
+        check = check_against_baseline
+    failures = check(results, baseline, wall_tolerance)
     attempt = 0
     while (
         failures
@@ -357,7 +364,7 @@ def check_with_retries(
             "re-timing the suite..."
         )
         results = rerun()
-        failures = check_against_baseline(results, baseline, wall_tolerance)
+        failures = check(results, baseline, wall_tolerance)
     return results, failures
 
 

@@ -72,8 +72,16 @@ def bcast(machine: BSPMachine, group: RankGroup, words: float, root: int | None 
     recvs = np.full(g, share + (g - 1) * share)
     sends[ri] = (2 * (g - 1)) * share
     recvs[ri] = (g - 1) * share
+    pairs = None
+    if machine.metrics.enabled:
+        # Exact pairwise pattern of the two phases: the root sends one share
+        # to every other rank (scatter), then every rank sends its share to
+        # every other rank (allgather).
+        pairs = share * (np.ones((g, g)) - np.eye(g))
+        pairs[ri, :] += share
+        pairs[ri, ri] = 0.0
     def _charge() -> None:
-        machine.charge_comm_batch(group, sends, recvs)
+        machine.charge_comm_batch(group, sends, recvs, pairs=pairs)
         machine.superstep(group, 2)
 
     with machine.span("bcast", group=group):
@@ -96,8 +104,16 @@ def reduce(machine: BSPMachine, group: RankGroup, words: float, root: int | None
     recvs = np.full(g, base)
     sends[ri] = base
     recvs[ri] = base + base
+    pairs = None
+    if machine.metrics.enabled:
+        # Exact pairwise pattern of the two phases: every rank sends one
+        # share to every other rank (reduce-scatter), then every non-root
+        # rank sends its reduced share to the root (gather).
+        pairs = share * (np.ones((g, g)) - np.eye(g))
+        pairs[:, ri] += share
+        pairs[ri, ri] = 0.0
     def _charge() -> None:
-        machine.charge_comm_batch(group, sends, recvs)
+        machine.charge_comm_batch(group, sends, recvs, pairs=pairs)
         machine.charge_flops(group, base)
         machine.superstep(group, 2)
 
@@ -215,6 +231,7 @@ def alltoall(machine: BSPMachine, group: RankGroup, transfers: dict[tuple[int, i
     machine.check_group(group)
     sends: dict[int, float] = {}
     recvs: dict[int, float] = {}
+    pairs: list[tuple[int, int, float]] | None = [] if machine.metrics.enabled else None
     total = 0.0
     for (src, dst), w in transfers.items():
         if w < 0:
@@ -225,9 +242,11 @@ def alltoall(machine: BSPMachine, group: RankGroup, transfers: dict[tuple[int, i
             continue
         sends[src] = sends.get(src, 0.0) + w
         recvs[dst] = recvs.get(dst, 0.0) + w
+        if pairs is not None:
+            pairs.append((src, dst, float(w)))
         total += w
     def _charge() -> None:
-        machine.charge_comm(sends=sends, recvs=recvs)
+        machine.charge_comm(sends=sends, recvs=recvs, pairs=pairs)
         machine.superstep(group, 1)
 
     with machine.span("alltoall", group=group):
@@ -264,5 +283,6 @@ def p2p(machine: BSPMachine, src: int, dst: int, words: float, tag: str = "") ->
         raise ValueError("words must be nonnegative")
     if src == dst or words == 0:
         return
-    machine.charge_comm(sends={src: words}, recvs={dst: words})
+    pairs = ((src, dst, float(words)),) if machine.metrics.enabled else None
+    machine.charge_comm(sends={src: words}, recvs={dst: words}, pairs=pairs)
     machine.trace.record("p2p", (src, dst), words=words, tag=tag)

@@ -31,6 +31,91 @@ import numpy as np
 
 from repro.bsp.params import MachineParams
 
+#: per-rank quantities accepted by :meth:`CostReport.imbalance` /
+#: :meth:`CostReport.gini`: the raw counter fields plus the derived
+#: ``"words"`` (sent + received) and ``"memory"`` (peak footprint)
+IMBALANCE_FIELDS: tuple[str, ...] = (
+    "flops",
+    "words",
+    "words_sent",
+    "words_recv",
+    "mem_traffic",
+    "supersteps",
+    "memory",
+)
+
+#: additive quantities whose activity marks a rank as part of the
+#: executing group (idle ranks are excluded from imbalance statistics)
+_ACTIVITY_FIELDS: tuple[str, ...] = (
+    "flops",
+    "words_sent",
+    "words_recv",
+    "mem_traffic",
+    "supersteps",
+)
+
+
+def imbalance_of(values: np.ndarray, active: np.ndarray | None = None) -> float:
+    """max/mean of ``values`` over the ``active`` mask (1.0 = balanced).
+
+    The shared implementation behind :meth:`CostReport.imbalance`,
+    :meth:`repro.trace.report.SpanBreakdown.imbalance` and the profiler's
+    section table, so all three agree by construction.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    if active is not None:
+        vals = vals[np.asarray(active, dtype=bool)]
+    if vals.size == 0:
+        return 1.0
+    mean = float(vals.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(vals.max()) / mean
+
+
+def gini_of(values: np.ndarray, active: np.ndarray | None = None) -> float:
+    """Gini coefficient of ``values`` over the ``active`` mask (0 = equal)."""
+    vals = np.asarray(values, dtype=np.float64)
+    if active is not None:
+        vals = vals[np.asarray(active, dtype=bool)]
+    if vals.size == 0:
+        return 0.0
+    mean = float(vals.mean())
+    if mean <= 0.0:
+        return 0.0
+    diffs = float(np.abs(vals[:, None] - vals[None, :]).sum())
+    return diffs / (2.0 * vals.size * vals.size * mean)
+
+
+def rank_field_values(per_rank: object, name: str) -> np.ndarray:
+    """Materialize one per-rank quantity from either engine's snapshot.
+
+    ``per_rank`` is a :class:`CounterArray` (vectorized engine) or a
+    sequence of :class:`RankCounters` (scalar engine); ``name`` is one of
+    :data:`IMBALANCE_FIELDS`.
+    """
+    if name == "words":
+        return rank_field_values(per_rank, "words_sent") + rank_field_values(
+            per_rank, "words_recv"
+        )
+    field_name = "peak_memory_words" if name == "memory" else name
+    if field_name not in COUNTER_FIELDS:
+        raise ValueError(f"unknown per-rank field {name!r}; expected one of {IMBALANCE_FIELDS}")
+    getter = getattr(per_rank, "field_array", None)
+    if getter is not None:
+        return np.asarray(getter(field_name), dtype=np.float64)
+    return np.array([getattr(c, field_name) for c in per_rank], dtype=np.float64)  # type: ignore[union-attr]
+
+
+def active_rank_mask(per_rank: object) -> np.ndarray:
+    """Boolean mask of ranks with any nonzero additive counter."""
+    mask: np.ndarray | None = None
+    for name in _ACTIVITY_FIELDS:
+        nz = rank_field_values(per_rank, name) != 0.0
+        mask = nz if mask is None else (mask | nz)
+    assert mask is not None
+    return mask
+
 
 @dataclass
 class RankCounters:
@@ -87,6 +172,10 @@ class CostReport:
     #: the machine ran with span tracing enabled; ``None`` otherwise.
     #: Excluded from equality so traced and untraced runs compare by cost.
     span_breakdown: object = field(repr=False, compare=False, default=None)
+    #: per-rank telemetry (:class:`repro.metrics.MetricsSnapshot`) when the
+    #: machine ran with metrics enabled; ``None`` otherwise.  Excluded from
+    #: equality so instrumented and plain runs compare by cost.
+    metrics_data: object = field(repr=False, compare=False, default=None)
 
     @property
     def F(self) -> float:  # noqa: N802 — paper notation
@@ -129,12 +218,70 @@ class CostReport:
             )
         return self.span_breakdown
 
+    def with_metrics(self, snapshot: object) -> "CostReport":
+        """Copy of this report carrying a per-rank metrics snapshot."""
+        return replace(self, metrics_data=snapshot)
+
+    def metrics(self):  # noqa: ANN201 — MetricsSnapshot (import cycle)
+        """The per-rank telemetry snapshot of the instrumented run.
+
+        Raises ``ValueError`` if the machine did not run with metrics
+        (``BSPMachine(p, metrics=True)`` or ``REPRO_METRICS=1``).
+        """
+        if self.metrics_data is None:
+            raise ValueError(
+                "this report carries no per-rank metrics; run on a machine with "
+                "metrics enabled (BSPMachine(p, metrics=True) or REPRO_METRICS=1)"
+            )
+        return self.metrics_data
+
+    def rank_values(self, fld: str = "flops") -> np.ndarray:
+        """Per-rank values of one :data:`IMBALANCE_FIELDS` quantity."""
+        return rank_field_values(self.per_rank, fld)
+
+    def active_ranks(self) -> np.ndarray:
+        """Mask of ranks that participated in the measured interval.
+
+        Ranks outside the executing group (no flops, no words, no memory
+        traffic, no supersteps) are excluded from imbalance statistics so
+        small-group spans on a large machine don't report spurious skew.
+        """
+        return active_rank_mask(self.per_rank)
+
+    def _has_per_rank(self) -> bool:
+        try:
+            return len(self.per_rank) > 0  # type: ignore[arg-type]
+        except TypeError:
+            return False
+
+    def imbalance(self, fld: str = "flops") -> float:
+        """max/mean of one per-rank quantity over the executing group.
+
+        ``fld`` is one of :data:`IMBALANCE_FIELDS` (e.g. ``"flops"``,
+        ``"words"``, ``"mem_traffic"``, ``"memory"``).  1.0 means perfectly
+        balanced; idle ranks are excluded via :meth:`active_ranks`.
+        """
+        if not self._has_per_rank():
+            # legacy fallback for hand-built reports without per-rank data
+            if fld == "flops" and self.total_flops != 0:
+                return self.flops / (self.total_flops / self.p)
+            return 1.0
+        return imbalance_of(self.rank_values(fld), self.active_ranks())
+
+    def gini(self, fld: str = "flops") -> float:
+        """Gini coefficient of one per-rank quantity over the executing group."""
+        if not self._has_per_rank():
+            return 0.0
+        return gini_of(self.rank_values(fld), self.active_ranks())
+
     @property
     def flop_imbalance(self) -> float:
-        """max/mean flop ratio across ranks (1.0 = perfectly balanced)."""
-        if self.total_flops == 0:
-            return 1.0
-        return self.flops / (self.total_flops / self.p)
+        """max/mean flop ratio across executing ranks (1.0 = balanced).
+
+        Thin alias for ``imbalance("flops")``, kept for callers that predate
+        the general per-field form.
+        """
+        return self.imbalance("flops")
 
     def __sub__(self, other: "CostReport") -> "CostReport":
         """Cost delta between two snapshots of the *same* machine.

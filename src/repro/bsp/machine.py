@@ -70,6 +70,29 @@ class NoFaults:
 #: shared no-op fault layer (cf. NULL_SPAN)
 NO_FAULTS = NoFaults()
 
+
+class NoMetrics:
+    """Inert per-rank metrics layer installed on every machine by default.
+
+    A metrics-enabled machine (``BSPMachine(p, metrics=True)`` or
+    ``REPRO_METRICS=1``) replaces it with a live
+    :class:`repro.metrics.collector.MetricsCollector`; the charging
+    primitives gate on ``machine.metrics.enabled``, so the default path
+    costs a single attribute read and the pinned trace/cost outputs are
+    byte-identical with metrics off.
+    """
+
+    __slots__ = ()
+
+    enabled: bool = False
+
+    def reset(self) -> None:
+        """No telemetry to clear."""
+
+
+#: shared no-op metrics layer (cf. NO_FAULTS, NULL_SPAN)
+NO_METRICS = NoMetrics()
+
 #: either counter store; both implement the same accumulation interface
 CounterStore = Union[CounterArray, "ScalarCounterStore"]
 
@@ -94,6 +117,7 @@ class BSPMachine:
         trace: bool = False,
         engine: str | None = None,
         spans: bool | None = None,
+        metrics: bool | None = None,
     ):
         self.p = check_positive_int(p, "p")
         self.params = params or MachineParams()
@@ -109,6 +133,16 @@ class BSPMachine:
         # injector.  Typed Any because the injector lives in repro.faults,
         # which imports this module.
         self.faults: Any = NO_FAULTS
+        # Per-rank metrics layer: same pattern (the collector lives in
+        # repro.metrics, which imports this module — hence the late import).
+        if metrics is None:
+            metrics = os.environ.get("REPRO_METRICS", "") not in ("", "0")
+        if metrics:
+            from repro.metrics.collector import MetricsCollector
+
+            self.metrics: Any = MetricsCollector(self.p, self.params)
+        else:
+            self.metrics = NO_METRICS
 
     # ------------------------------------------------------------------ #
     # validation helpers
@@ -178,8 +212,14 @@ class BSPMachine:
         self,
         sends: Mapping[int, float] | None = None,
         recvs: Mapping[int, float] | None = None,
+        pairs: Iterable[tuple[int, int, float]] | None = None,
     ) -> None:
-        """Charge horizontal word counts: ``sends[r]`` words sent by rank r, etc."""
+        """Charge horizontal word counts: ``sends[r]`` words sent by rank r, etc.
+
+        ``pairs`` optionally carries the exact (src, dst, words) wire
+        pattern behind the marginals for the metrics heatmap; it charges
+        nothing and is ignored unless metrics are enabled.
+        """
         s_idx = s_w = r_idx = r_w = None
         if sends:
             s_idx = np.fromiter(sends.keys(), dtype=np.int64, count=len(sends))
@@ -197,18 +237,24 @@ class BSPMachine:
                 self._check_rank(int(r_idx.min() if r_idx.min() < 0 else r_idx.max()))
         if s_idx is not None or r_idx is not None:
             self.counters.add_comm(s_idx, s_w, r_idx, r_w)
+            if self.metrics.enabled:
+                self.metrics.on_comm(s_idx, s_w, r_idx, r_w, pairs=pairs)
 
     def charge_comm_batch(
         self,
         group: RankGroup | Iterable[int],
         sent_each=None,
         recv_each=None,
+        pairs=None,
     ) -> None:
         """Charge send/recv words across ``group`` in one vector op.
 
         ``sent_each``/``recv_each`` are either scalars (the uniform per-rank
         word count — the common collective case) or 1-D arrays aligned with
-        the group's rank order.  ``None`` skips that direction.
+        the group's rank order.  ``None`` skips that direction.  ``pairs``
+        optionally carries the exact zero-diagonal g×g wire pattern (group
+        positions) for the metrics heatmap; it charges nothing and is
+        ignored unless metrics are enabled.
         """
         if sent_each is None and recv_each is None:
             return
@@ -240,6 +286,8 @@ class BSPMachine:
             idx if recvd is not None else None,
             recvd,
         )
+        if self.metrics.enabled:
+            self.metrics.on_comm_batch(idx, sent, recvd, pairs=pairs)
 
     def charge_comm_matrix(self, group: RankGroup, matrix) -> None:
         """Charge a g×g transfer matrix over ``group`` in one vector op.
@@ -266,6 +314,8 @@ class BSPMachine:
         sends = off.sum(axis=1)
         recvs = off.sum(axis=0)
         self.counters.add_comm(idx, sends, idx, recvs)
+        if self.metrics.enabled:
+            self.metrics.on_comm_matrix(idx, off, sends, recvs)
 
     def superstep(self, group: RankGroup | Iterable[int] | None = None, count: int = 1) -> None:
         """End ``count`` supersteps for the given group (default: all ranks)."""
@@ -274,6 +324,8 @@ class BSPMachine:
         ranks = self.world if group is None else group
         idx, unique = self._resolve(ranks)
         self.counters.add_supersteps(idx, count, unique=unique)
+        if self.metrics.enabled:
+            self.metrics.on_superstep(self.counters)
         self.trace.record("superstep", ranks if not isinstance(ranks, RankGroup) else ranks.ranks)
 
     # ------------------------------------------------------------------ #
@@ -361,11 +413,15 @@ class BSPMachine:
         """Snapshot the aggregated cost so far.
 
         On a span-enabled machine the report carries the per-span
-        breakdown, readable with :meth:`CostReport.by_span`.
+        breakdown, readable with :meth:`CostReport.by_span`; on a
+        metrics-enabled machine it carries the per-rank telemetry
+        snapshot, readable with :meth:`CostReport.metrics`.
         """
         report = self.counters.report()
         if self.spans.enabled:
             report = report.with_spans(self.spans.breakdown())
+        if self.metrics.enabled:
+            report = report.with_metrics(self.metrics.snapshot(self.counters))
         return report
 
     def reset(self) -> None:
@@ -379,6 +435,7 @@ class BSPMachine:
         self.caches = [CacheModel(self.params.cache_words) for _ in range(self.p)]
         self.trace.clear()
         self.spans.reset()
+        self.metrics.reset()
 
     def __repr__(self) -> str:
         return f"BSPMachine(p={self.p}, params={self.params}, engine={self.engine!r})"

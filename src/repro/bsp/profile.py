@@ -19,11 +19,27 @@ report ranks sections by the cost component you care about.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.bsp.counters import CostReport
+import numpy as np
+
+from repro.bsp.counters import (
+    CostReport,
+    gini_of,
+    imbalance_of,
+    rank_field_values,
+)
 from repro.bsp.machine import BSPMachine
 from repro.report.tables import format_table
+
+#: per-rank quantities a section accumulates (the additive counter fields)
+SECTION_RANK_FIELDS: tuple[str, ...] = (
+    "flops",
+    "words_sent",
+    "words_recv",
+    "mem_traffic",
+    "supersteps",
+)
 
 
 @dataclass
@@ -32,6 +48,9 @@ class SectionCost:
 
     Values are critical-path (max-over-ranks) deltas per call, summed over
     calls — the same convention as :class:`~repro.bsp.counters.CostReport`.
+    ``per_rank`` holds the same deltas *before* the max, one array per
+    :data:`SECTION_RANK_FIELDS` entry, so the section table computes the
+    exact imbalance statistics the metrics layer reports.
     """
 
     label: str
@@ -41,6 +60,7 @@ class SectionCost:
     mem_traffic: float = 0.0
     supersteps: int = 0
     depth: int = 0
+    per_rank: dict = field(default_factory=dict, repr=False)
 
     def add(self, delta: CostReport) -> None:
         self.calls += 1
@@ -48,6 +68,53 @@ class SectionCost:
         self.words += delta.words
         self.mem_traffic += delta.mem_traffic
         self.supersteps += delta.supersteps
+        try:
+            empty = len(delta.per_rank) == 0  # type: ignore[arg-type]
+        except TypeError:
+            empty = True
+        if empty:
+            return
+        for f in SECTION_RANK_FIELDS:
+            vals = rank_field_values(delta.per_rank, f)
+            if f in self.per_rank:
+                self.per_rank[f] += vals
+            else:
+                self.per_rank[f] = vals.copy()
+
+    def rank_values(self, fld: str = "flops") -> np.ndarray:
+        """Per-rank accumulated values (``"words"`` derives sent + recv)."""
+        if not self.per_rank:
+            raise ValueError(f"section {self.label!r} has no per-rank data")
+        if fld == "words":
+            return self.per_rank["words_sent"] + self.per_rank["words_recv"]
+        if fld not in SECTION_RANK_FIELDS:
+            raise ValueError(
+                f"unknown section field {fld!r}; expected one of {SECTION_RANK_FIELDS}"
+            )
+        return self.per_rank[fld]
+
+    def active_ranks(self) -> np.ndarray:
+        """Mask of ranks this section actually charged."""
+        mask: np.ndarray | None = None
+        for f in SECTION_RANK_FIELDS:
+            nz = self.per_rank[f] != 0
+            mask = nz if mask is None else (mask | nz)
+        assert mask is not None
+        return mask
+
+    def imbalance(self, fld: str = "flops") -> float:
+        """max/mean over the ranks this section charged (1.0 = balanced) —
+        the same statistic as :meth:`CostReport.imbalance`, so the section
+        table and the metrics layer agree on one shared run."""
+        if not self.per_rank:
+            return 1.0
+        return imbalance_of(self.rank_values(fld), self.active_ranks())
+
+    def gini(self, fld: str = "flops") -> float:
+        """Gini coefficient over the ranks this section charged."""
+        if not self.per_rank:
+            return 0.0
+        return gini_of(self.rank_values(fld), self.active_ranks())
 
 
 class Profiler:
@@ -92,11 +159,13 @@ class Profiler:
                     s.words,
                     s.mem_traffic,
                     s.supersteps,
+                    f"{s.imbalance(sort_by):.2f}",
+                    f"{s.gini(sort_by):.2f}",
                     f"{share:.1%}" if s.depth == 0 else "-",
                 ]
             )
         return format_table(
-            ["section", "calls", "F", "W", "Q", "S", f"{sort_by} share"],
+            ["section", "calls", "F", "W", "Q", "S", "bal", "gini", f"{sort_by} share"],
             rows,
             title=f"cost profile (sorted by {sort_by})",
         )

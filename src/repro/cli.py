@@ -12,7 +12,12 @@ lint     static cost-accounting lint of the source tree (see
 bench    wall-clock benchmark of the accounting engine itself; with
          ``--check`` gates against a committed BENCH_engine.json baseline
 trace    run one eigensolve with span tracing on, print the critical-path
-         breakdown, and export a Chrome trace-event JSON (Perfetto)
+         breakdown, and export a Chrome trace-event JSON (Perfetto);
+         ``--per-rank`` adds a multi-track file with one timeline per rank
+metrics  run one instrumented eigensolve and export per-rank metrics:
+         rank-to-rank communication heatmap, memory watermarks vs the
+         Theorem IV.4 bound, imbalance statistics, and bound-attainment
+         ratios; with ``--check`` gates against a committed baseline
 chaos    sweep seeded fault scenarios over the pinned eigensolve and
          assert the chaos invariant: every run recovers or fails with a
          typed, span-attributed error (see docs/robustness.md)
@@ -129,7 +134,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.util import random_symmetric
 
     a = random_symmetric(args.n, seed=args.seed)
-    machine = BSPMachine(args.p, engine=args.engine, spans=True)
+    machine = BSPMachine(args.p, engine=args.engine, spans=True, metrics=args.per_rank)
     res = eigensolve_2p5d(machine, a, delta=args.delta)
     breakdown = res.cost.by_span()
     engine = "scalar" if args.engine == "scalar" else "array"
@@ -150,6 +155,83 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         out = Path("benchmarks") / "results" / f"trace_eig_n{args.n}_p{args.p}.json"
     path = write_chrome_trace(machine.spans, out, label=f"eigensolve_2p5d n={args.n} p={args.p}")
     print(f"wrote {path} ({len(machine.spans.events)} spans; open in Perfetto or chrome://tracing)")
+    if args.per_rank:
+        from repro.trace import write_chrome_trace_per_rank
+
+        out = Path(out)
+        per_rank_out = out.with_name(out.stem + ".per_rank" + out.suffix)
+        snap = res.cost.metrics()
+        path = write_chrome_trace_per_rank(
+            machine.spans,
+            per_rank_out,
+            metrics=snap,
+            label=f"eigensolve_2p5d n={args.n} p={args.p} (per rank)",
+        )
+        print(
+            f"wrote {path} ({snap.p} rank tracks with memory/words counter series)"
+        )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import BSPMachine, bench, eigensolve_2p5d
+    from repro.metrics import (
+        DEFAULT_ENVELOPE,
+        build_metrics_doc,
+        check_metrics,
+        load_metrics,
+        render_metrics,
+        write_metrics,
+    )
+    from repro.util import random_symmetric
+
+    envelope = DEFAULT_ENVELOPE if args.envelope is None else args.envelope
+
+    # Load the baseline *before* writing the fresh document: the default
+    # output path is the committed baseline path, so writing first would
+    # compare the fresh run against itself.
+    baseline = None
+    if args.check is not None:
+        try:
+            baseline = load_metrics(args.check)
+        except FileNotFoundError as exc:
+            print(f"metrics FAILED: {exc}", file=sys.stderr)
+            return 1
+
+    def run() -> dict:
+        a = random_symmetric(args.n, seed=args.seed)
+        machine = BSPMachine(args.p, engine=args.engine, spans=True, metrics=True)
+        res = eigensolve_2p5d(machine, a, delta=args.delta)
+        engine = "scalar" if args.engine == "scalar" else "array"
+        return build_metrics_doc(res, args.n, engine=engine, config={"seed": args.seed})
+
+    doc = run()
+    print(render_metrics(doc))
+    out = args.out
+    if out is None:
+        from pathlib import Path
+
+        out = Path("benchmarks") / "results" / f"metrics_eig_n{args.n}_p{args.p}.json"
+    out = write_metrics(doc, out)
+    print(f"\nwrote {out}")
+    if doc["conservation"]["problems"]:
+        print("metrics FAILED: conservation violated:", file=sys.stderr)
+        for problem in doc["conservation"]["problems"]:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    if baseline is None:
+        return 0
+    # check_metrics never emits wall-clock failures, so the retry loop of
+    # check_with_retries never fires — the gate is fully deterministic.
+    final, failures = bench.check_with_retries(
+        doc, baseline, run, wall_tolerance=envelope, check=check_metrics
+    )
+    if failures:
+        print(f"\nmetrics FAILED against baseline {args.check}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"baseline check passed against {args.check}")
     return 0
 
 
@@ -321,7 +403,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Chrome trace-event JSON path (default benchmarks/results/trace_eig_n<N>_p<P>.json)",
     )
+    p_trace.add_argument(
+        "--per-rank",
+        action="store_true",
+        help="also write a multi-track Perfetto file (<out>.per_rank.json) with "
+        "one timeline per rank plus memory/words counter tracks",
+    )
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="per-rank metrics: comm heatmap, memory watermarks, bound attainment",
+    )
+    p_metrics.add_argument("--n", type=int, default=96)
+    p_metrics.add_argument("--p", type=int, default=16)
+    p_metrics.add_argument("--delta", type=float, default=2.0 / 3.0)
+    p_metrics.add_argument("--seed", type=int, default=3)
+    p_metrics.add_argument(
+        "--engine",
+        choices=("array", "scalar"),
+        default=None,
+        help="accounting engine (default: the vectorized array engine)",
+    )
+    p_metrics.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="metrics JSON path (default benchmarks/results/metrics_eig_n<N>_p<P>.json)",
+    )
+    p_metrics.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="gate against a committed metrics JSON: conservation, memory "
+        "watermark <= model bound, exact comm totals, attainment drift <= envelope",
+    )
+    p_metrics.add_argument(
+        "--envelope",
+        type=float,
+        default=None,
+        help="relative attainment drift allowed vs the baseline (default 0.25)",
+    )
+    p_metrics.set_defaults(fn=_cmd_metrics)
 
     p_chaos = sub.add_parser(
         "chaos",

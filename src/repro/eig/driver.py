@@ -95,6 +95,10 @@ class EigensolveResult:
     replication: int  # c = p^{2δ−1}
     initial_bandwidth: int
     stages: list[tuple[str, CostReport]] = field(default_factory=list)
+    #: structured descriptors aligned with ``stages`` (kind, n, b_in, b_out,
+    #: k, p_active, delta) — what repro.metrics.attainment needs to evaluate
+    #: the matching lemma/theorem cost expressions
+    stage_meta: list[dict] = field(default_factory=list)
 
     def stage_summary(self) -> str:
         lines = [f"total: {self.cost.summary()}"]
@@ -143,13 +147,15 @@ def eigensolve_2p5d(
     if not 1 <= b < n:
         raise ValueError(f"initial band-width must be in [1, n-1], got {b}")
     stages: list[tuple[str, CostReport]] = []
+    stage_meta: list[dict] = []
     mark = machine.cost()
 
-    def snapshot(name: str) -> None:
+    def snapshot(name: str, **meta: object) -> None:
         nonlocal mark
         if collect_stages:
             now = machine.cost()
             stages.append((name, now - mark))
+            stage_meta.append({"name": name, **meta})
             mark = now
 
     # Fault tolerance: with a live injector, each stage runs under
@@ -184,7 +190,15 @@ def eigensolve_2p5d(
             )
         else:
             banded = full_to_band_2p5d(machine, grid, a, b, tag=f"{tag}:f2b")
-        snapshot(f"full_to_band(b={b})")
+        snapshot(
+            f"full_to_band(b={b})",
+            kind="full_to_band",
+            n=n,
+            b_in=n,
+            b_out=b,
+            p_active=grid.group().size,
+            delta=delta_eff,
+        )
         world = machine.faults.live_group(machine.world)
         if world is None:
             raise UnrecoverableFault("no surviving ranks", span=tag)
@@ -227,7 +241,16 @@ def eigensolve_2p5d(
                 )
             else:
                 band = band_to_band_2p5d(machine, band, k=k, tag=f"{tag}:b2b{stage_idx}")
-            snapshot(f"band_to_band(b={band.b * k}->{band.b}, p={active.size})")
+            snapshot(
+                f"band_to_band(b={band.b * k}->{band.b}, p={active.size})",
+                kind="band_to_band",
+                n=n,
+                b_in=band.b * k,
+                b_out=band.b,
+                k=k,
+                p_active=active.size,
+                delta=delta_eff,
+            )
             stage_idx += 1
 
         # Stage 3: CA-SBR halvings on p^δ ranks down to ~n/p.
@@ -257,7 +280,15 @@ def eigensolve_2p5d(
                 )
             else:
                 band = ca_sbr_reduce(machine, band, target3, tag=f"{tag}:sbr")
-            snapshot(f"ca_sbr(b={start_b}->{band.b}, p={small.size})")
+            snapshot(
+                f"ca_sbr(b={start_b}->{band.b}, p={small.size})",
+                kind="ca_sbr",
+                n=n,
+                b_in=start_b,
+                b_out=band.b,
+                p_active=small.size,
+                delta=delta_eff,
+            )
 
         # Stage 4: sequential finish.
         if ft:
@@ -281,7 +312,15 @@ def eigensolve_2p5d(
             )
         else:
             evals = finish_sequential(machine, band, tag=tag)
-        snapshot("finish")
+        snapshot(
+            "finish",
+            kind="finish",
+            n=n,
+            b_in=band.b,
+            b_out=1,
+            p_active=1,
+            delta=delta_eff,
+        )
 
     return EigensolveResult(
         eigenvalues=evals,
@@ -290,6 +329,7 @@ def eigensolve_2p5d(
         replication=c,
         initial_bandwidth=b,
         stages=stages,
+        stage_meta=stage_meta,
     )
 
 

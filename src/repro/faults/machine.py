@@ -150,11 +150,12 @@ class FaultyMachine(BSPMachine):
         trace: bool = False,
         engine: str | None = None,
         spans: bool | None = None,
+        metrics: bool | None = None,
         *,
         plan: FaultPlan,
         policy: RecoveryPolicy | None = None,
     ):
-        super().__init__(p, params, trace=trace, engine=engine, spans=spans)
+        super().__init__(p, params, trace=trace, engine=engine, spans=spans, metrics=metrics)
         self.plan = plan
         self.policy = policy or RecoveryPolicy()
         self.faults = FaultInjector(self, plan, self.policy)

@@ -99,12 +99,13 @@ class VerifiedMachine(BSPMachine):
         trace: bool = False,
         engine: str | None = None,
         spans: bool | None = None,
+        metrics: bool | None = None,
         *,
         memory_bound_words: float | None = None,
         strict_reads: bool = False,
         conservation_rtol: float = 1e-6,
     ):
-        super().__init__(p, params, trace, engine, spans)
+        super().__init__(p, params, trace, engine, spans, metrics)
         self.memory_bound_words = memory_bound_words
         self.strict_reads = strict_reads
         self.conservation_rtol = conservation_rtol

@@ -1,0 +1,112 @@
+"""Bound-attainment ratios: measured stage costs ÷ the paper's predictions.
+
+Each eigensolver stage recorded by :func:`repro.eig.driver.eigensolve_2p5d`
+carries a structured descriptor (``EigensolveResult.stage_meta``) naming
+the lemma/theorem whose cost expression applies:
+
+* ``full_to_band`` — Lemma IV.1 (:func:`repro.model.costs.full_to_band_cost`);
+* ``band_to_band`` — Lemma IV.3 (:func:`repro.model.costs.band_to_band_cost`);
+* ``ca_sbr`` — Lemma IV.2, summed over the halvings the stage performed
+  (:func:`repro.model.costs.ca_sbr_halve_cost`);
+* ``finish`` — the sequential band→tridiagonal→Sturm tail, mirrored from
+  the driver's explicit charges (:func:`finish_cost`).
+
+The *attainment ratio* of a component is ``measured / predicted``.  The
+model expressions are leading-order with unit constants, so the ratios are
+O(1) numbers, not 1.0 — what matters is that they stay **stable**: a ratio
+drifting up between commits means an implementation regressed against the
+bound it used to attain (more words, more flops, more supersteps for the
+same inputs).  ``repro metrics --check`` pins them against a committed
+baseline with a multiplicative envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bsp.counters import CostReport
+from repro.model.costs import (
+    AsymptoticCost,
+    band_to_band_cost,
+    ca_sbr_halve_cost,
+    full_to_band_cost,
+)
+
+#: cost components compared per stage, in report order
+ATTAINMENT_COMPONENTS: tuple[str, ...] = ("flops", "words", "mem_traffic", "supersteps")
+
+
+def finish_cost(n: int, b: int) -> AsymptoticCost:
+    """Model cost of the sequential finish on the gathered band.
+
+    Mirrors the driver's explicit charges: the band gather (O(n·b) words),
+    the sequential band→tridiagonal reduction (O(n·b²) flops with
+    O(n·b·log b) streaming) and the Sturm bisection sweeps (O(n²) flops,
+    O(n) streaming, 64-sweep constant), in two supersteps.
+    """
+    logb = max(1.0, float(np.log2(max(2, b))))
+    return AsymptoticCost(
+        flops=8.0 * n * b * b + 320.0 * n * n,
+        words=float(n * (b + 1)),
+        mem_traffic=float(n * b) * logb + 128.0 * n,
+        supersteps=2.0,
+        memory=float(n * (b + 1)),
+    )
+
+
+def stage_model_cost(meta: dict) -> AsymptoticCost | None:
+    """The paper's cost expression for one stage descriptor (None if the
+    descriptor carries no recognized ``kind``)."""
+    kind = meta.get("kind")
+    n = int(meta.get("n", 0))
+    if kind == "full_to_band":
+        return full_to_band_cost(n, int(meta["p_active"]), float(meta["delta"]), int(meta["b_out"]))
+    if kind == "band_to_band":
+        return band_to_band_cost(
+            n, int(meta["b_in"]), int(meta["k"]), int(meta["p_active"]), float(meta["delta"])
+        )
+    if kind == "ca_sbr":
+        # Lemma IV.2 covers one halving; the stage runs them back to back.
+        total: AsymptoticCost | None = None
+        b = int(meta["b_in"])
+        b_out = max(1, int(meta["b_out"]))
+        p_active = int(meta["p_active"])
+        while b > b_out:
+            halve = ca_sbr_halve_cost(n, b, p_active)
+            total = halve if total is None else total + halve
+            b = max(b_out, b // 2)
+        return total
+    if kind == "finish":
+        return finish_cost(n, int(meta["b_in"]))
+    return None
+
+
+def attainment_ratios(
+    stages: list[tuple[str, CostReport]], stage_meta: list[dict]
+) -> list[dict]:
+    """Measured ÷ predicted cost ratios, one entry per recognized stage.
+
+    Each entry carries the stage name, kind, the predicted and measured
+    F/W/Q/S, and the ``ratio`` dict per component (None where the model
+    predicts zero, e.g. a degenerate stage).
+    """
+    out: list[dict] = []
+    for (name, measured), meta in zip(stages, stage_meta):
+        model = stage_model_cost(meta)
+        if model is None:
+            continue
+        ratios: dict[str, float | None] = {}
+        for comp in ATTAINMENT_COMPONENTS:
+            predicted = float(getattr(model, comp))
+            got = float(getattr(measured, comp))
+            ratios[comp] = got / predicted if predicted > 0 else None
+        out.append(
+            {
+                "stage": name,
+                "kind": meta.get("kind"),
+                "predicted": {c: float(getattr(model, c)) for c in ATTAINMENT_COMPONENTS},
+                "measured": {c: float(getattr(measured, c)) for c in ATTAINMENT_COMPONENTS},
+                "ratio": ratios,
+            }
+        )
+    return out

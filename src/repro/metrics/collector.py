@@ -1,0 +1,423 @@
+"""The per-rank metrics collector: who-talks-to-whom, memory watermarks.
+
+A :class:`MetricsCollector` lives on a metrics-enabled
+:class:`~repro.bsp.machine.BSPMachine` as ``machine.metrics`` and is fed by
+the machine's charging primitives, so every collective, sharded kernel,
+distribution-layer transfer and fault-retransmission in the repo is covered
+without per-call-site instrumentation.  It records
+
+* a p×p **communication matrix** (words and messages): entry ``(i, j)`` is
+  the traffic attributed to the directed pair ``i → j``;
+* per-rank **send/receive mirrors**: arrays accumulated with the *identical
+  values in the identical order* as the counter store's ``words_sent`` /
+  ``words_recv`` slots, which is what makes the conservation check below
+  bit-exact on both engines (same IEEE-754 additions per slot);
+* per-rank **memory high-water marks** sampled at superstep boundaries,
+  plus a decimated time series for the per-rank Perfetto counter tracks.
+
+Pairwise attribution
+--------------------
+Collectives with a non-trivial wire pattern (two-phase broadcast/reduce,
+all-to-all transfer dicts, dense transfer matrices, point-to-point sends)
+pass their **exact** per-pair pattern through the charging primitives.
+Charges that only declare per-rank marginals (who sent/received how much)
+are split by iterative proportional fitting (IPF/Sinkhorn) of the rank-one
+seed ``sent ⊗ recv`` with a zero diagonal — the maximum-entropy flow
+consistent with both marginals.  For single-root and uniform patterns
+(gather, scatter, allgather, allreduce, reduce-scatter, p2p) the IPF fixed
+point *is* the true pattern.  Words that cannot be paired (self-transfers
+on one-rank groups, unbalanced one-sided charges) accumulate in
+``unpaired_sent``/``unpaired_recv`` so conservation still closes.
+
+Conservation invariant (:meth:`MetricsCollector.verify_conservation`):
+
+* mirrors == live counters, **bit-exact** (``np.array_equal``);
+* message-matrix row/column sums == per-rank message counts, exact (int);
+* word-matrix row/column sums (+ unpaired) == mirrors, to float-summation
+  tolerance (re-summing attributed flows regroups the additions);
+* the matrix diagonal is exactly zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bsp.params import MachineParams
+
+#: IPF iteration cap; exact patterns converge in one pass, and anything
+#: still unbalanced after this many sweeps takes the unconstrained-split
+#: fallback (see :meth:`MetricsCollector._record_flows`)
+_IPF_ITERS = 64
+
+#: row-marginal tolerance at which the IPF sweep stops early
+_IPF_CONVERGED_RTOL = 1e-13
+
+#: decimated memory/traffic time-series cap (halved + re-strided when hit)
+_MAX_SAMPLES = 2048
+
+#: additive counter quantities a rank must have touched to count as active
+_ACTIVITY_FIELDS = ("flops", "words_sent", "words_recv", "mem_traffic", "supersteps")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Frozen per-rank telemetry attached to a :class:`CostReport`.
+
+    Read it with :meth:`repro.bsp.counters.CostReport.metrics`.  All arrays
+    are detached copies; ``series`` is the decimated superstep time series
+    of ``(model_time, current_memory_words, words_sent)`` samples.
+    """
+
+    p: int
+    words_matrix: np.ndarray
+    messages_matrix: np.ndarray
+    sent_words: np.ndarray
+    recv_words: np.ndarray
+    sent_messages: np.ndarray
+    recv_messages: np.ndarray
+    unpaired_sent: np.ndarray
+    unpaired_recv: np.ndarray
+    watermark_words: np.ndarray
+    watermark_superstep: np.ndarray
+    peak_memory_words: np.ndarray
+    supersteps_seen: int
+    series: tuple
+    conservation_problems: tuple
+
+    @property
+    def total_words(self) -> float:
+        """All horizontal words sent (== received) across the run."""
+        return float(self.sent_words.sum())
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.messages_matrix.sum())
+
+    def heaviest_pairs(self, k: int = 8) -> list:
+        """The ``k`` heaviest directed (src, dst, words) pairs."""
+        flat = self.words_matrix.ravel()
+        order = np.argsort(flat)[::-1][:k]
+        p = self.p
+        return [
+            (int(i // p), int(i % p), float(flat[i])) for i in order if flat[i] > 0
+        ]
+
+    def verify(self) -> list:
+        """Conservation problems found at snapshot time ([] = all held)."""
+        return list(self.conservation_problems)
+
+
+class MetricsCollector:
+    """Live per-rank telemetry of one machine (``machine.metrics``).
+
+    Fed exclusively by :class:`~repro.bsp.machine.BSPMachine`'s charging
+    primitives; with metrics off the machine holds the shared
+    :data:`~repro.bsp.machine.NO_METRICS` no-op instead and every
+    instrumented site costs a single attribute read.
+    """
+
+    enabled = True
+
+    def __init__(self, p: int, params: MachineParams):
+        self.p = p
+        self._params = params
+        self.words_matrix = np.zeros((p, p))
+        self.messages_matrix = np.zeros((p, p), dtype=np.int64)
+        self.sent_words = np.zeros(p)
+        self.recv_words = np.zeros(p)
+        self.sent_messages = np.zeros(p, dtype=np.int64)
+        self.recv_messages = np.zeros(p, dtype=np.int64)
+        self.unpaired_sent = np.zeros(p)
+        self.unpaired_recv = np.zeros(p)
+        self.watermark_words = np.zeros(p)
+        self.watermark_superstep = np.zeros(p, dtype=np.int64)
+        self.supersteps_seen = 0
+        self.series: list = []
+        self._stride = 1
+
+    # ------------------------------------------------------------------ #
+    # pairwise attribution
+
+    def _record_pairs(self, pairs) -> None:
+        """Accumulate exact (src, dst, words) triples (absolute ranks)."""
+        for src, dst, w in pairs:
+            if src == dst or w <= 0:
+                continue
+            self.words_matrix[src, dst] += w
+            self.messages_matrix[src, dst] += 1
+            self.sent_messages[src] += 1
+            self.recv_messages[dst] += 1
+
+    def _record_pair_matrix(self, idx: np.ndarray, off: np.ndarray) -> None:
+        """Accumulate an exact zero-diagonal g×g pattern over group ``idx``."""
+        sub = np.ix_(idx, idx)
+        self.words_matrix[sub] += off
+        mask = off > 0.0
+        self.messages_matrix[sub] += mask
+        self.sent_messages[idx] += mask.sum(axis=1)
+        self.recv_messages[idx] += mask.sum(axis=0)
+
+    def _record_flows(self, su, sw, ru, rw) -> None:
+        """Split a marginal-only charge into pairwise flows by IPF.
+
+        ``su``/``ru`` are unique absolute-rank index arrays, ``sw``/``rw``
+        the aligned word counts.  Rows of the fitted flow matrix match
+        ``sw`` and columns match ``rw``.  When the zero-diagonal constraint
+        makes that infeasible (a rank whose only counterparty is itself,
+        e.g. a band-window owner fetching into its own group), the split
+        falls back to the unconstrained maximum-entropy flow and books the
+        self-transfers as unpaired local traffic.  The (signed, float-noise
+        scale in the feasible case) leftover residuals are always booked to
+        the unpaired buckets, so conservation closes identically.
+        """
+        sm = sw > 0.0
+        rm = rw > 0.0
+        su, sw = su[sm], sw[sm]
+        ru, rw = ru[rm], rw[rm]
+        if su.size == 0 or ru.size == 0:
+            if su.size:
+                self.unpaired_sent[su] += sw
+            if ru.size:
+                self.unpaired_recv[ru] += rw
+            return
+        ssum = float(sw.sum())
+        rsum = float(rw.sum())
+        if not np.isclose(ssum, rsum, rtol=1e-12, atol=0.0):
+            # One-sided excess (sends and receives charged separately):
+            # only min(ssum, rsum) words can be paired at all.
+            t = min(ssum, rsum)
+            if ssum > t:
+                excess = sw * (1.0 - t / ssum)
+                self.unpaired_sent[su] += excess
+                sw = sw - excess
+            if rsum > t:
+                excess = rw * (1.0 - t / rsum)
+                self.unpaired_recv[ru] += excess
+                rw = rw - excess
+        self_pairs = su[:, None] == ru[None, :]
+        flows = np.outer(sw, rw)  # cost: free(telemetry attribution, not simulated work)
+        flows[self_pairs] = 0.0
+        for _ in range(_IPF_ITERS):
+            rows = flows.sum(axis=1)
+            scale = np.divide(sw, rows, out=np.zeros_like(rows), where=rows > 0)
+            flows *= scale[:, None]
+            cols = flows.sum(axis=0)
+            scale = np.divide(rw, cols, out=np.zeros_like(cols), where=cols > 0)
+            flows *= scale[None, :]
+            if np.allclose(flows.sum(axis=1), sw, rtol=_IPF_CONVERGED_RTOL, atol=0.0):
+                break
+        if not (
+            np.allclose(flows.sum(axis=1), sw, rtol=1e-9, atol=1e-9)
+            and np.allclose(flows.sum(axis=0), rw, rtol=1e-9, atol=1e-9)
+        ):
+            # Zero-diagonal infeasible: fall back to the unconstrained
+            # rank-one split (exact in one pass) and peel off the diagonal.
+            flows = np.outer(sw, rw) / float(sw.sum())  # cost: free(telemetry attribution)
+            local = np.where(self_pairs, flows, 0.0)
+            if local.any():
+                local_s = local.sum(axis=1)
+                local_r = local.sum(axis=0)
+                self.unpaired_sent[su] += local_s
+                self.unpaired_recv[ru] += local_r
+                sw = sw - local_s
+                rw = rw - local_r
+                flows = flows - local
+        # Signed residual booking: float noise when IPF converged, the
+        # genuinely unattributable remainder otherwise.
+        self.unpaired_sent[su] += sw - flows.sum(axis=1)
+        self.unpaired_recv[ru] += rw - flows.sum(axis=0)
+        sub = np.ix_(su, ru)
+        self.words_matrix[sub] += flows
+        mask = flows > 0.0
+        self.messages_matrix[sub] += mask
+        self.sent_messages[su] += mask.sum(axis=1)
+        self.recv_messages[ru] += mask.sum(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # machine hooks (one per charging primitive)
+
+    def on_comm(self, s_idx, s_w, r_idx, r_w, pairs=None) -> None:
+        """Mirror a :meth:`~repro.bsp.machine.BSPMachine.charge_comm` call.
+
+        The mirror additions repeat the exact store operations (same
+        values, same order), so ``sent_words``/``recv_words`` stay
+        bit-identical to the live counters on either engine.
+        """
+        if s_idx is not None:
+            self.sent_words[s_idx] += s_w
+        if r_idx is not None:
+            self.recv_words[r_idx] += r_w
+        if pairs is not None:
+            self._record_pairs(pairs)
+            return
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_w = np.empty(0)
+        self._record_flows(
+            s_idx if s_idx is not None else empty_i,
+            s_w if s_w is not None else empty_w,
+            r_idx if r_idx is not None else empty_i,
+            r_w if r_w is not None else empty_w,
+        )
+
+    def on_comm_batch(self, idx, sent, recvd, pairs=None) -> None:
+        """Mirror a ``charge_comm_batch`` call (group-aligned form).
+
+        ``pairs``, when given, is the collective's exact zero-diagonal g×g
+        pattern in group-position space (e.g. the two-phase broadcast).
+        """
+        if isinstance(idx, (int, np.integer)):
+            # single-rank: the charge is a self-transfer, unattributable
+            i = int(idx)
+            if sent is not None:
+                self.sent_words[i] += sent
+                self.unpaired_sent[i] += sent
+            if recvd is not None:
+                self.recv_words[i] += recvd
+                self.unpaired_recv[i] += recvd
+            return
+        if sent is not None:
+            self.sent_words[idx] += sent
+        if recvd is not None:
+            self.recv_words[idx] += recvd
+        if pairs is not None:
+            self._record_pair_matrix(idx, np.asarray(pairs, dtype=np.float64))
+            return
+        g = idx.size
+
+        def _aligned(words) -> np.ndarray:
+            if words is None:
+                return np.zeros(g)
+            if np.ndim(words) == 0:
+                return np.full(g, float(words))
+            return np.asarray(words, dtype=np.float64)
+
+        self._record_flows(idx, _aligned(sent), idx, _aligned(recvd))
+
+    def on_comm_matrix(self, idx: np.ndarray, off: np.ndarray,
+                       sends: np.ndarray, recvs: np.ndarray) -> None:
+        """Mirror a ``charge_comm_matrix`` call: the off-diagonal transfer
+        matrix is itself the exact pairwise pattern."""
+        self.sent_words[idx] += sends
+        self.recv_words[idx] += recvs
+        self._record_pair_matrix(idx, off)
+
+    def on_superstep(self, store) -> None:
+        """Sample per-rank memory at a superstep boundary (watermarks plus
+        the decimated time series feeding the Perfetto counter tracks)."""
+        cur = np.asarray(store.field_array("current_memory_words"), dtype=np.float64)
+        self.supersteps_seen += 1
+        grew = cur > self.watermark_words
+        if grew.any():
+            self.watermark_superstep[grew] = self.supersteps_seen
+            self.watermark_words = np.maximum(self.watermark_words, cur)
+        if (self.supersteps_seen - 1) % self._stride == 0:
+            sent = np.asarray(store.field_array("words_sent"), dtype=np.float64)
+            self.series.append((self._model_time(store), cur.copy(), sent.copy()))
+            if len(self.series) > _MAX_SAMPLES:
+                self.series = self.series[::2]
+                self._stride *= 2
+
+    # ------------------------------------------------------------------ #
+    # verification and snapshots
+
+    def _model_time(self, store) -> float:
+        """Modeled critical-path time of the store's current state."""
+        sent = np.asarray(store.field_array("words_sent"), dtype=np.float64)
+        recv = np.asarray(store.field_array("words_recv"), dtype=np.float64)
+        return self._params.time(
+            float(np.asarray(store.field_array("flops")).max()),
+            float((sent + recv).max()),
+            float(np.asarray(store.field_array("mem_traffic")).max()),
+            float(np.asarray(store.field_array("supersteps")).max()),
+        )
+
+    def verify_conservation(self, store) -> list:
+        """Check the conservation invariant against the live counter store.
+
+        Returns a list of problem descriptions ([] = the invariant holds).
+        See the module docstring for what is bit-exact vs float-tolerant.
+        """
+        problems = []
+        sent = np.asarray(store.field_array("words_sent"), dtype=np.float64)
+        recv = np.asarray(store.field_array("words_recv"), dtype=np.float64)
+        if not np.array_equal(self.sent_words, sent):
+            problems.append(
+                "sent-words mirror diverged from the counter store "
+                "(a charge bypassed the metrics hooks)"
+            )
+        if not np.array_equal(self.recv_words, recv):
+            problems.append(
+                "recv-words mirror diverged from the counter store "
+                "(a charge bypassed the metrics hooks)"
+            )
+        if np.diagonal(self.words_matrix).any():
+            problems.append("communication matrix has nonzero diagonal entries")
+        rows = self.words_matrix.sum(axis=1) + self.unpaired_sent
+        if not np.allclose(rows, self.sent_words, rtol=1e-9, atol=1e-6):
+            problems.append(
+                "word-matrix row sums (+ unpaired) do not reproduce the "
+                "per-rank sent words"
+            )
+        cols = self.words_matrix.sum(axis=0) + self.unpaired_recv
+        if not np.allclose(cols, self.recv_words, rtol=1e-9, atol=1e-6):
+            problems.append(
+                "word-matrix column sums (+ unpaired) do not reproduce the "
+                "per-rank received words"
+            )
+        if not np.array_equal(self.messages_matrix.sum(axis=1), self.sent_messages):
+            problems.append("message-matrix row sums diverged from per-rank message counts")
+        if not np.array_equal(self.messages_matrix.sum(axis=0), self.recv_messages):
+            problems.append("message-matrix column sums diverged from per-rank message counts")
+        return problems
+
+    def snapshot(self, store) -> MetricsSnapshot:
+        """Detached snapshot (with a final watermark sample and the
+        conservation verdict baked in)."""
+        cur = np.asarray(store.field_array("current_memory_words"), dtype=np.float64)
+        grew = cur > self.watermark_words
+        if grew.any():
+            self.watermark_superstep[grew] = self.supersteps_seen
+            self.watermark_words = np.maximum(self.watermark_words, cur)
+        return MetricsSnapshot(
+            p=self.p,
+            words_matrix=self.words_matrix.copy(),
+            messages_matrix=self.messages_matrix.copy(),
+            sent_words=self.sent_words.copy(),
+            recv_words=self.recv_words.copy(),
+            sent_messages=self.sent_messages.copy(),
+            recv_messages=self.recv_messages.copy(),
+            unpaired_sent=self.unpaired_sent.copy(),
+            unpaired_recv=self.unpaired_recv.copy(),
+            watermark_words=self.watermark_words.copy(),
+            watermark_superstep=self.watermark_superstep.copy(),
+            peak_memory_words=np.asarray(
+                store.field_array("peak_memory_words"), dtype=np.float64
+            ).copy(),
+            supersteps_seen=self.supersteps_seen,
+            series=tuple(self.series),
+            conservation_problems=tuple(self.verify_conservation(store)),
+        )
+
+    def reset(self) -> None:
+        """Zero all telemetry in place (called by ``BSPMachine.reset``)."""
+        self.words_matrix.fill(0.0)
+        self.messages_matrix.fill(0)
+        self.sent_words.fill(0.0)
+        self.recv_words.fill(0.0)
+        self.sent_messages.fill(0)
+        self.recv_messages.fill(0)
+        self.unpaired_sent.fill(0.0)
+        self.unpaired_recv.fill(0.0)
+        self.watermark_words.fill(0.0)
+        self.watermark_superstep.fill(0)
+        self.supersteps_seen = 0
+        self.series.clear()
+        self._stride = 1
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsCollector(p={self.p}, words={self.sent_words.sum():.4g}, "
+            f"supersteps_seen={self.supersteps_seen})"
+        )

@@ -6,7 +6,12 @@ See docs/observability.md.  Enable on any machine with
 :func:`repro.trace.chrome.write_chrome_trace` or ``repro trace``.
 """
 
-from repro.trace.chrome import chrome_trace, write_chrome_trace
+from repro.trace.chrome import (
+    chrome_trace,
+    chrome_trace_per_rank,
+    write_chrome_trace,
+    write_chrome_trace_per_rank,
+)
 from repro.trace.report import SpanBreakdown, SpanCost
 from repro.trace.spans import NULL_SPAN, SPAN_FIELDS, UNTRACED, SpanEvent, SpanHandle, SpanRecorder
 
@@ -20,5 +25,7 @@ __all__ = [
     "SpanHandle",
     "SpanRecorder",
     "chrome_trace",
+    "chrome_trace_per_rank",
     "write_chrome_trace",
+    "write_chrome_trace_per_rank",
 ]

@@ -15,6 +15,14 @@ monotone in the counters, nesting is always well-formed.
 
 Each span becomes one complete ("ph": "X") event carrying its exclusive
 max-over-ranks F/W/Q/S and the executing group size in ``args``.
+
+:func:`chrome_trace_per_rank` is the multi-track upgrade: one Perfetto
+track (thread) per rank, each span event duplicated onto the tracks of the
+ranks that executed it, plus per-rank counter tracks (memory footprint and
+cumulative words sent) sampled from a metrics-enabled machine's superstep
+series, and the rank-to-rank heatmap matrices embedded in ``otherData``.
+The single-track exporter is deliberately untouched so its pinned output
+stays byte-identical.
 """
 
 from __future__ import annotations
@@ -85,4 +93,115 @@ def write_chrome_trace(
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(chrome_trace(recorder, label=label), indent=1) + "\n")
+    return out
+
+
+def chrome_trace_per_rank(
+    recorder: "SpanRecorder",
+    metrics: Any = None,
+    label: str = "repro BSP model (per rank)",
+) -> dict[str, Any]:
+    """Build the multi-track trace_event document: one track per rank.
+
+    Span events land on the tracks of the ranks recorded in each
+    :class:`~repro.trace.spans.SpanEvent` (all ranks when the span carried
+    no group).  ``metrics``, when given, is a
+    :class:`~repro.metrics.MetricsSnapshot` whose superstep series becomes
+    per-rank ``memory_words`` / ``words_sent`` counter tracks and whose
+    rank-to-rank matrices are embedded under ``otherData["heatmap"]``.
+    """
+    p = recorder.p
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0, "args": {"name": label}},
+    ]
+    for r in range(p):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": r,
+                "args": {"name": f"rank {r} (1 us = 1 model time unit)"},
+            }
+        )
+        events.append(
+            {"ph": "M", "name": "thread_sort_index", "pid": 0, "tid": r, "args": {"sort_index": r}}
+        )
+    for ev in recorder.events:
+        ranks = ev.ranks if ev.ranks is not None else tuple(range(p))
+        args = {
+            "path": ev.path,
+            "depth": ev.depth,
+            "group_size": ev.group_size,
+            "F": ev.flops,
+            "W": ev.words,
+            "Q": ev.mem_traffic,
+            "S": ev.supersteps,
+        }
+        for r in ranks:
+            events.append(
+                {
+                    "name": ev.name,
+                    "cat": "bsp",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": int(r),
+                    "ts": ev.ts,
+                    "dur": ev.dur,
+                    "args": args,
+                }
+            )
+    other: dict[str, Any] = {
+        "p": p,
+        "spans": len(recorder.events),
+        "open_spans": recorder.open_paths(),
+        "time_unit": "modeled BSP time (gamma*F + beta*W + nu*Q + alpha*S)",
+    }
+    if metrics is not None:
+        for t, memory, sent in metrics.series:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": "memory_words",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": float(t),
+                    "args": {f"rank{r}": float(memory[r]) for r in range(p)},
+                }
+            )
+            events.append(
+                {
+                    "ph": "C",
+                    "name": "words_sent",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": float(t),
+                    "args": {f"rank{r}": float(sent[r]) for r in range(p)},
+                }
+            )
+        other["heatmap"] = {
+            "words_matrix": metrics.words_matrix.tolist(),
+            "messages_matrix": metrics.messages_matrix.tolist(),
+            "unpaired_sent": metrics.unpaired_sent.tolist(),
+            "unpaired_recv": metrics.unpaired_recv.tolist(),
+        }
+        other["memory"] = {
+            "watermark_words": metrics.watermark_words.tolist(),
+            "watermark_superstep": metrics.watermark_superstep.tolist(),
+        }
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": other}
+
+
+def write_chrome_trace_per_rank(
+    recorder: "SpanRecorder",
+    path: Path | str,
+    metrics: Any = None,
+    label: str = "repro BSP model (per rank)",
+) -> Path:
+    """Write the multi-track trace JSON to ``path`` and return it."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(chrome_trace_per_rank(recorder, metrics=metrics, label=label), indent=1) + "\n"
+    )
     return out

@@ -78,6 +78,10 @@ class SpanEvent:
     words: float
     mem_traffic: float
     supersteps: int
+    #: the executing group's absolute ranks (None when the span was opened
+    #: without a group); drives the per-rank track placement in the
+    #: multi-track Chrome export
+    ranks: tuple | None = None
 
 
 class SpanHandle:
@@ -105,15 +109,22 @@ NULL_SPAN = SpanHandle()
 class _Span(SpanHandle):
     """Live span handle bound to a recorder."""
 
-    __slots__ = ("_recorder", "_name", "_group_size")
+    __slots__ = ("_recorder", "_name", "_group_size", "_ranks")
 
-    def __init__(self, recorder: "SpanRecorder", name: str, group_size: int | None):
+    def __init__(
+        self,
+        recorder: "SpanRecorder",
+        name: str,
+        group_size: int | None,
+        ranks: tuple | None = None,
+    ):
         self._recorder = recorder
         self._name = name
         self._group_size = group_size
+        self._ranks = ranks
 
     def __enter__(self) -> "_Span":
-        self._recorder.open(self._name, self._group_size)
+        self._recorder.open(self._name, self._group_size, self._ranks)
         return self
 
     def __exit__(
@@ -129,7 +140,7 @@ class _Span(SpanHandle):
 class _OpenSpan:
     """Stack entry for one open span."""
 
-    __slots__ = ("path", "name", "depth", "group_size", "ts_open", "excl")
+    __slots__ = ("path", "name", "depth", "group_size", "ranks", "ts_open", "excl")
 
     def __init__(
         self,
@@ -139,11 +150,13 @@ class _OpenSpan:
         group_size: int | None,
         ts_open: float,
         p: int,
+        ranks: tuple | None = None,
     ):
         self.path = path
         self.name = name
         self.depth = depth
         self.group_size = group_size
+        self.ranks = ranks
         self.ts_open = ts_open
         self.excl = _zero_arrays(p)
 
@@ -225,7 +238,9 @@ class SpanRecorder:
             now[f] = cur
         return now
 
-    def open(self, name: str, group_size: int | None = None) -> None:
+    def open(
+        self, name: str, group_size: int | None = None, ranks: tuple | None = None
+    ) -> None:
         """Open a span; subsequent charges attribute to it until a child
         opens or it closes."""
         now = self.flush()
@@ -233,7 +248,9 @@ class SpanRecorder:
         path = f"{parent}/{name}" if parent else name
         self._bucket(path)  # register in first-open order for stable reports
         self._stack.append(
-            _OpenSpan(path, name, len(self._stack), group_size, self._model_time(now), self.p)
+            _OpenSpan(
+                path, name, len(self._stack), group_size, self._model_time(now), self.p, ranks
+            )
         )
 
     def close(self) -> None:
@@ -256,13 +273,20 @@ class SpanRecorder:
                 words=float(words.max()),
                 mem_traffic=float(span.excl["mem_traffic"].max()),
                 supersteps=int(span.excl["supersteps"].max()),
+                ranks=span.ranks,
             )
         )
 
     def handle(self, name: str, group: object = None) -> SpanHandle:
         """A context-manager handle for one span instance."""
         size = getattr(group, "size", None)
-        return _Span(self, name, int(size) if size is not None else None)
+        ranks = getattr(group, "ranks", None)
+        return _Span(
+            self,
+            name,
+            int(size) if size is not None else None,
+            tuple(ranks) if ranks is not None else None,
+        )
 
     # -------------------------------------------------------------- #
     # lifecycle and checks

@@ -82,6 +82,65 @@ class TestTrace:
         assert rc == 0
         assert "engine=scalar" in capsys.readouterr().out
 
+    def test_trace_per_rank_writes_second_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--n", "32", "--p", "4", "--per-rank", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "rank tracks" in stdout
+        per_rank = tmp_path / "trace.per_rank.json"
+        doc = json.loads(per_rank.read_text())
+        meta = [e for e in doc["traceEvents"]
+                if e.get("ph") == "M" and e.get("name") == "thread_name"]
+        assert len(meta) >= 4
+        assert "heatmap" in doc["otherData"]
+
+    def test_trace_without_per_rank_writes_one_file(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--n", "32", "--p", "4", "--out", str(out)]) == 0
+        assert out.exists()
+        assert not (tmp_path / "trace.per_rank.json").exists()
+
+
+class TestMetrics:
+    def test_metrics_writes_doc(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        rc = main(["metrics", "--n", "48", "--p", "8", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "per-rank metrics" in stdout
+        assert "conservation: OK" in stdout
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.metrics/1"
+        assert doc["conservation"]["problems"] == []
+
+    def test_metrics_check_roundtrip(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["metrics", "--n", "48", "--p", "8", "--out", str(base)]) == 0
+        rc = main(["metrics", "--n", "48", "--p", "8",
+                   "--out", str(tmp_path / "fresh.json"), "--check", str(base)])
+        assert rc == 0
+        assert "baseline check passed" in capsys.readouterr().out
+
+    def test_metrics_check_missing_baseline(self, tmp_path, capsys):
+        rc = main(["metrics", "--n", "48", "--p", "8",
+                   "--out", str(tmp_path / "m.json"),
+                   "--check", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "metrics FAILED" in capsys.readouterr().err
+
+    def test_metrics_check_flags_config_drift(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["metrics", "--n", "48", "--p", "8", "--out", str(base)]) == 0
+        rc = main(["metrics", "--n", "48", "--p", "8", "--seed", "4",
+                   "--out", str(tmp_path / "fresh.json"), "--check", str(base)])
+        assert rc == 1
+        assert "config mismatch" in capsys.readouterr().err
+
 
 class TestParser:
     def test_requires_command(self):

@@ -1,0 +1,396 @@
+"""Tests for the per-rank metrics layer (repro.metrics).
+
+The tentpole invariant is *conservation*: the rank-to-rank word matrix
+plus the unpaired residuals must reproduce the counter engines' per-rank
+sent/recv totals bit-exactly, for every collective, every sharded kernel,
+on both accounting engines, and under injected faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine, RankGroup, collectives
+from repro.bsp.machine import NO_METRICS
+from repro.metrics import (
+    DEFAULT_ENVELOPE,
+    build_metrics_doc,
+    check_metrics,
+)
+from repro.model.bounds import memory_bound_words
+from repro.util import random_symmetric
+
+ENGINES = ("array", "scalar")
+
+
+def metered(p: int, engine: str = "array", **kwargs) -> BSPMachine:
+    return BSPMachine(p, engine=engine, metrics=True, **kwargs)
+
+
+def snap_of(machine: BSPMachine):
+    return machine.cost().metrics()
+
+
+def assert_conserved(machine: BSPMachine) -> None:
+    problems = machine.metrics.verify_conservation(machine.counters)
+    assert problems == [], problems
+
+
+def group(*ranks) -> RankGroup:
+    return RankGroup(tuple(ranks))
+
+
+# --------------------------------------------------------------------- #
+# conservation over every collective
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestCollectiveConservation:
+    """Every collective's comm matrix reproduces the counters bit-exactly."""
+
+    def test_bcast(self, engine):
+        m = metered(8, engine)
+        collectives.bcast(m, group(0, 2, 5, 7), words=801.0, root=5)
+        assert_conserved(m)
+        s = snap_of(m)
+        # the root forwards a share to every other member; nobody self-sends
+        assert (np.diag(s.words_matrix) == 0.0).all()
+        for r in (0, 2, 7):
+            assert s.words_matrix[5, r] > 0.0
+
+    def test_reduce(self, engine):
+        m = metered(8, engine)
+        collectives.reduce(m, group(1, 3, 4, 6), words=600.0, root=3)
+        assert_conserved(m)
+        s = snap_of(m)
+        for r in (1, 4, 6):
+            assert s.words_matrix[r, 3] > 0.0
+
+    def test_allreduce(self, engine):
+        m = metered(8, engine)
+        collectives.allreduce(m, group(0, 1, 2, 3, 4), words=123.0)
+        assert_conserved(m)
+
+    def test_reduce_scatter(self, engine):
+        m = metered(8, engine)
+        collectives.reduce_scatter(m, group(2, 3, 6, 7), words_total=444.0)
+        assert_conserved(m)
+
+    def test_allgather(self, engine):
+        m = metered(8, engine)
+        collectives.allgather(m, group(0, 4, 5), words_each=37.0)
+        assert_conserved(m)
+
+    def test_gather(self, engine):
+        m = metered(8, engine)
+        collectives.gather(m, group(1, 2, 5), words_each=11.0, root=2)
+        assert_conserved(m)
+        s = snap_of(m)
+        assert s.words_matrix[1, 2] > 0.0 and s.words_matrix[5, 2] > 0.0
+        assert s.words_matrix[2].sum() == 0.0  # the root sends nothing
+
+    def test_scatter(self, engine):
+        m = metered(8, engine)
+        collectives.scatter(m, group(0, 3, 6), words_each=13.0, root=6)
+        assert_conserved(m)
+        s = snap_of(m)
+        assert s.words_matrix[6, 0] > 0.0 and s.words_matrix[6, 3] > 0.0
+        assert s.words_matrix[:, 6].sum() == 0.0  # the root receives nothing
+
+    def test_alltoall(self, engine):
+        m = metered(8, engine)
+        collectives.alltoall(
+            m, group(0, 1, 2, 3),
+            {(0, 1): 10.0, (1, 2): 20.0, (2, 0): 5.0, (3, 3): 99.0, (0, 3): 7.0},
+        )
+        assert_conserved(m)
+        s = snap_of(m)
+        # the (src, dst, w) triples are recorded exactly
+        assert s.words_matrix[0, 1] == 10.0
+        assert s.words_matrix[1, 2] == 20.0
+        assert s.words_matrix[3, 3] == 0.0  # local transfers are free
+
+    def test_alltoall_matrix(self, engine):
+        m = metered(8, engine)
+        g = group(0, 2, 4, 6)
+        mat = np.arange(16, dtype=np.float64).reshape(4, 4) * 3.0
+        collectives.alltoall_matrix(m, g, mat)
+        assert_conserved(m)
+        s = snap_of(m)
+        off = mat.copy()
+        np.fill_diagonal(off, 0.0)
+        assert s.words_matrix[np.ix_(g.ranks, g.ranks)] == pytest.approx(off)
+
+    def test_p2p(self, engine):
+        m = metered(8, engine)
+        collectives.p2p(m, 3, 5, words=42.0)
+        assert_conserved(m)
+        s = snap_of(m)
+        assert s.words_matrix[3, 5] == 42.0
+        assert s.words_matrix.sum() == 42.0
+        assert s.messages_matrix[3, 5] == 1
+
+    def test_every_collective_in_one_run(self, engine):
+        m = metered(8, engine)
+        collectives.bcast(m, m.world, words=800.0)
+        collectives.reduce(m, m.world, words=800.0)
+        collectives.allreduce(m, group(0, 1, 2), words=90.0)
+        collectives.reduce_scatter(m, m.world, words_total=640.0)
+        collectives.allgather(m, group(4, 5, 6, 7), words_each=25.0)
+        collectives.gather(m, m.world, words_each=10.0, root=7)
+        collectives.scatter(m, m.world, words_each=10.0, root=0)
+        collectives.alltoall(m, group(0, 3, 6), {(0, 3): 5.0, (6, 0): 8.0})
+        collectives.alltoall_matrix(m, group(1, 2), [[0.0, 4.0], [6.0, 0.0]])
+        collectives.p2p(m, 7, 0, words=3.0)
+        assert_conserved(m)
+        s = snap_of(m)
+        # the mirror accumulators repeat the store's adds -> bit-exact
+        assert np.array_equal(s.sent_words, m.counters.field_array("words_sent"))
+        assert np.array_equal(s.recv_words, m.counters.field_array("words_recv"))
+
+
+# --------------------------------------------------------------------- #
+# conservation through the sharded kernels (full eigensolve)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_eigensolve_conserves(engine):
+    from repro import eigensolve_2p5d
+
+    a = random_symmetric(48, seed=1)
+    m = metered(8, engine)
+    eigensolve_2p5d(m, a)
+    assert_conserved(m)
+
+
+def test_engine_word_matrices_bit_identical():
+    from repro import eigensolve_2p5d
+
+    a = random_symmetric(48, seed=1)
+    snaps = []
+    for engine in ENGINES:
+        m = metered(8, engine)
+        eigensolve_2p5d(m, a)
+        snaps.append(snap_of(m))
+    assert np.array_equal(snaps[0].words_matrix, snaps[1].words_matrix)
+    assert np.array_equal(snaps[0].messages_matrix, snaps[1].messages_matrix)
+    assert np.array_equal(snaps[0].watermark_words, snaps[1].watermark_words)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_faulty_run_conserves_and_shows_retransmission(engine):
+    from repro import eigensolve_2p5d
+    from repro.faults import FaultPlan, FaultyMachine
+    from repro.faults.plan import SCENARIOS
+
+    a = random_symmetric(48, seed=1)
+    clean = metered(8, engine)
+    eigensolve_2p5d(clean, a)
+    faulty = FaultyMachine(
+        8, engine=engine, metrics=True,
+        plan=FaultPlan(SCENARIOS["message-drop"], seed=7),
+    )
+    eigensolve_2p5d(faulty, a)
+    assert_conserved(faulty)
+    # retransmitted payloads land in the matrix (the _charge closure re-fires)
+    assert snap_of(faulty).total_words > snap_of(clean).total_words
+
+
+# --------------------------------------------------------------------- #
+# memory watermarks
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_watermarks_within_model_bound(engine):
+    from repro import eigensolve_2p5d
+
+    n, p = 48, 8
+    a = random_symmetric(n, seed=1)
+    m = metered(p, engine)
+    res = eigensolve_2p5d(m, a)
+    s = snap_of(m)
+    peak = m.counters.field_array("peak_memory_words")
+    assert (s.watermark_words <= peak).all()
+    assert peak.max() <= memory_bound_words(n, p, res.delta)
+    # the watermark superstep indices point inside the run
+    assert (s.watermark_superstep >= 0).all()
+    assert s.watermark_superstep.max() <= s.supersteps_seen
+
+
+def test_superstep_series_is_sampled_and_bounded():
+    from repro import eigensolve_2p5d
+
+    m = metered(8)
+    eigensolve_2p5d(m, random_symmetric(48, seed=1))
+    s = snap_of(m)
+    assert 0 < len(s.series) <= 2048
+    times = [t for t, _, _ in s.series]
+    assert times == sorted(times)
+
+
+# --------------------------------------------------------------------- #
+# the disabled path
+
+
+def test_metrics_disabled_is_shared_noop():
+    m = BSPMachine(4)
+    assert m.metrics is NO_METRICS
+    assert not m.metrics.enabled
+
+
+def test_metrics_off_report_raises():
+    m = BSPMachine(4)
+    collectives.bcast(m, m.world, words=10.0)
+    with pytest.raises(ValueError, match="no per-rank metrics"):
+        m.cost().metrics()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_metrics_do_not_change_the_cost_report(engine):
+    from repro import eigensolve_2p5d
+
+    a = random_symmetric(48, seed=1)
+    plain = BSPMachine(8, engine=engine)
+    r_plain = eigensolve_2p5d(plain, a).cost
+    r_metered = eigensolve_2p5d(metered(8, engine), a).cost
+    assert r_plain == r_metered  # metrics_data is compare=False; costs equal
+
+
+def test_reset_clears_the_collector():
+    m = metered(4)
+    collectives.bcast(m, m.world, words=100.0)
+    m.reset()
+    s = snap_of(m)
+    assert s.total_words == 0.0
+    assert s.words_matrix.sum() == 0.0
+
+
+# --------------------------------------------------------------------- #
+# imbalance statistics
+
+
+def test_imbalance_ignores_idle_ranks():
+    m = metered(8)
+    collectives.allreduce(m, group(0, 1, 2, 3), words=100.0)
+    report = m.cost()
+    # four ranks idle; a naive mean over p=8 would double the ratio
+    assert report.imbalance("words") == pytest.approx(1.0)
+    assert report.gini("words") == pytest.approx(0.0)
+
+
+def test_flop_imbalance_alias():
+    m = metered(4)
+    collectives.reduce(m, m.world, words=400.0)
+    report = m.cost()
+    assert report.flop_imbalance == report.imbalance("flops")
+
+
+def test_imbalance_rejects_unknown_field():
+    m = metered(4)
+    collectives.bcast(m, m.world, words=10.0)
+    with pytest.raises(ValueError):
+        m.cost().imbalance("nonsense")
+
+
+# --------------------------------------------------------------------- #
+# the metrics document and its gate
+
+
+@pytest.fixture(scope="module")
+def pinned_doc():
+    from repro import eigensolve_2p5d
+
+    n, p = 48, 8
+    m = metered(p, spans=True)
+    res = eigensolve_2p5d(m, random_symmetric(n, seed=3))
+    return build_metrics_doc(res, n, engine="array", config={"seed": 3})
+
+
+class TestMetricsDoc:
+    def test_attainment_covers_every_stage(self, pinned_doc):
+        stages = {e["stage"] for e in pinned_doc["attainment"]}
+        assert any("full_to_band" in s for s in stages)
+        assert any("finish" in s for s in stages)
+        for entry in pinned_doc["attainment"]:
+            for comp in ("flops", "words", "supersteps"):
+                ratio = entry["ratio"].get(comp)
+                assert ratio is None or ratio > 0.0
+
+    def test_doc_is_json_serializable(self, pinned_doc):
+        import json
+
+        json.dumps(pinned_doc)
+
+    def test_self_check_passes(self, pinned_doc):
+        assert check_metrics(pinned_doc, pinned_doc) == []
+
+    def test_check_flags_attainment_regression(self, pinned_doc):
+        import copy
+
+        worse = copy.deepcopy(pinned_doc)
+        entry = worse["attainment"][0]
+        comp = next(c for c in entry["ratio"] if entry["ratio"][c])
+        entry["ratio"][comp] *= 1.0 + 2.0 * DEFAULT_ENVELOPE
+        failures = check_metrics(worse, pinned_doc)
+        assert any("attainment regression" in f for f in failures)
+
+    def test_check_flags_memory_bound_violation(self, pinned_doc):
+        import copy
+
+        worse = copy.deepcopy(pinned_doc)
+        worse["memory"]["max_peak"] = worse["memory"]["model_bound_words"] * 2.0
+        failures = check_metrics(worse, pinned_doc)
+        assert any("memory watermark exceeds" in f for f in failures)
+
+    def test_check_flags_conservation_problem(self, pinned_doc):
+        import copy
+
+        bad = copy.deepcopy(pinned_doc)
+        bad["conservation"]["problems"] = ["row sums diverge"]
+        failures = check_metrics(bad, pinned_doc)
+        assert any("conservation" in f for f in failures)
+
+    def test_check_flags_comm_drift(self, pinned_doc):
+        import copy
+
+        drifted = copy.deepcopy(pinned_doc)
+        drifted["comm"]["total_words"] *= 1.001
+        failures = check_metrics(drifted, pinned_doc)
+        assert any("comm drift" in f for f in failures)
+
+    def test_render_mentions_every_section(self, pinned_doc):
+        from repro.metrics import render_metrics
+
+        text = render_metrics(pinned_doc)
+        for needle in ("heaviest directed pairs", "per-rank imbalance",
+                       "model bound", "bound attainment", "conservation: OK"):
+            assert needle in text
+
+
+# --------------------------------------------------------------------- #
+# the per-rank Perfetto exporter
+
+
+def test_per_rank_trace_has_rank_tracks_and_counters():
+    import json
+
+    from repro import eigensolve_2p5d
+    from repro.trace import chrome_trace, chrome_trace_per_rank
+
+    m = metered(8, spans=True)
+    eigensolve_2p5d(m, random_symmetric(48, seed=1))
+    doc = chrome_trace_per_rank(m.spans, metrics=snap_of(m))
+    json.dumps(doc)
+    events = doc["traceEvents"]
+    names = {e["args"]["name"] for e in events
+             if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    assert {f"rank {r} (1 us = 1 model time unit)" for r in range(8)} <= names
+    counters = [e for e in events if e.get("ph") == "C"]
+    assert any(e["name"] == "memory_words" for e in counters)
+    assert any(e["name"] == "words_sent" for e in counters)
+    assert "heatmap" in doc["otherData"] and "memory" in doc["otherData"]
+    # the single-track exporter is untouched by the metrics layer
+    plain = BSPMachine(8, spans=True)
+    eigensolve_2p5d(plain, random_symmetric(48, seed=1))
+    assert chrome_trace(plain.spans) == chrome_trace(m.spans)

@@ -78,3 +78,64 @@ class TestProfiler:
                 m.charge_flops(0, 7.0)
                 raise RuntimeError("x")
         assert prof.sections["boom"].flops == 7.0
+
+
+class TestPerRankSections:
+    """Section-level imbalance agrees with the metrics layer by construction
+    (both fold the same per-rank counter deltas through the same helpers)."""
+
+    def test_section_imbalance_matches_cost_report(self):
+        m = BSPMachine(4)
+        prof = Profiler(m)
+        with prof.section("everything"):
+            m.charge_flops(0, 300.0)
+            m.charge_flops(1, 100.0)
+            m.charge_comm(sends={0: 10.0, 1: 30.0}, recvs={2: 40.0})
+            m.superstep()
+        sec = prof.sections["everything"]
+        report = m.cost()
+        for fld in ("flops", "words", "words_sent", "mem_traffic", "supersteps"):
+            assert sec.imbalance(fld) == report.imbalance(fld)
+            assert sec.gini(fld) == report.gini(fld)
+
+    def test_section_rank_values_accumulate(self):
+        m = BSPMachine(2)
+        prof = Profiler(m)
+        for _ in range(2):
+            with prof.section("loop"):
+                m.charge_flops(1, 5.0)
+        vals = prof.sections["loop"].rank_values("flops")
+        assert list(vals) == [0.0, 10.0]
+
+    def test_section_active_ranks_mask(self):
+        m = BSPMachine(4)
+        prof = Profiler(m)
+        with prof.section("s"):
+            m.charge_flops(2, 1.0)
+        assert list(prof.sections["s"].active_ranks()) == [False, False, True, False]
+
+    def test_report_shows_balance_columns(self):
+        m = BSPMachine(2)
+        prof = Profiler(m)
+        with prof.section("s"):
+            m.charge_comm(sends={0: 10.0}, recvs={1: 10.0})
+            m.superstep()
+        text = prof.report()
+        assert "bal" in text and "gini" in text
+
+    def test_idle_section_is_balanced(self):
+        m = BSPMachine(2)
+        prof = Profiler(m)
+        with prof.section("idle"):
+            pass
+        sec = prof.sections["idle"]
+        assert sec.imbalance() == 1.0 and sec.gini() == 0.0
+        assert list(sec.rank_values()) == [0.0, 0.0]
+
+    def test_rank_values_rejects_unknown_field(self):
+        m = BSPMachine(2)
+        prof = Profiler(m)
+        with prof.section("s"):
+            m.charge_flops(0, 1.0)
+        with pytest.raises(ValueError):
+            prof.sections["s"].rank_values("bogus")
