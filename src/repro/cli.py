@@ -86,6 +86,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--write-baseline")
     if args.fail_stale:
         argv.append("--fail-stale")
+    if args.dataflow:
+        argv.append("--dataflow")
+    if args.explain is not None:
+        argv += ["--explain", args.explain]
+    if args.sarif is not None:
+        argv += ["--sarif", str(args.sarif)]
     return runner.main(argv)
 
 
@@ -360,6 +366,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-stale",
         action="store_true",
         help="error on baseline entries allowing more findings than currently exist",
+    )
+    p_lint.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="interprocedural race/ownership rules and symbolic cost certificates",
+    )
+    p_lint.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print the long-form explanation for one rule and exit",
+    )
+    p_lint.add_argument(
+        "--sarif", type=Path, default=None, metavar="PATH",
+        help="also write findings as a SARIF 2.1.0 log",
     )
     p_lint.set_defaults(fn=_cmd_lint)
 

@@ -36,7 +36,7 @@ def _run_chases_1d(
     group = band.group
     prev_owner: dict[int, int] = {}  # panel index -> owner of its last chase
     with machine.span("sbr_halve", group=group):
-        for step in chase_steps(n, b, h):
+        for step in chase_steps(n, b, h):  # certify: trips((n / b) * (n / h) / p)
             owner = band.owner_of_col(step.oqr_c)
             # Local work: QR of the (nr × h) block + the window update.
             machine.charge_flops(owner, qr_flops(max(step.nr, step.ncols), min(step.nr, step.ncols)))
@@ -48,7 +48,7 @@ def _run_chases_1d(
             last = prev_owner.get(step.i)
             if last is not None and last != owner:
                 words = float(step.nr * (step.ncols + step.nc))
-                machine.charge_comm(sends={last: words}, recvs={owner: words})
+                machine.charge_comm(sends={last: words}, recvs={owner: words})  # certify: count(n / h)
                 machine.superstep(RankGroup((last, owner)), 1)
                 machine.trace.record("sbr_handoff", (last, owner), words=words, tag=tag)
             prev_owner[step.i] = owner

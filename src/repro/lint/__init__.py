@@ -4,7 +4,10 @@ Two layers keep the measured (F, W, Q, S) honest:
 
 * the **static** layer (:mod:`repro.lint.analyzer` + :mod:`repro.lint.runner`)
   flags dense math and data motion that bypass the charging APIs
-  (``repro lint`` on the CLI);
+  (``repro lint`` on the CLI); ``repro lint --dataflow`` additionally links
+  the file set into a call graph (:mod:`repro.lint.callgraph`), runs the
+  interprocedural race/ownership rules (:mod:`repro.lint.dataflow`) and
+  checks the symbolic cost certificates (:mod:`repro.lint.certify`);
 * the **dynamic** layer (:class:`VerifiedMachine`) re-checks conservation,
   monotonicity, the per-rank memory bound, and read provenance at every
   superstep (``repro run --verify`` / ``REPRO_VERIFY=1`` in tests).
@@ -22,9 +25,11 @@ from repro.lint.baseline import (
     parse_baseline,
     render_baseline,
 )
+from repro.lint.callgraph import CallGraph
 from repro.lint.pragmas import ModulePragmas, parse_pragmas
-from repro.lint.rules import RULES, Finding
+from repro.lint.rules import DATAFLOW_RULES, RULES, Finding, explain_rule
 from repro.lint.runner import DEFAULT_ALLOWLIST, LintResult, lint_file, lint_paths
+from repro.lint.sarif import to_sarif, write_sarif
 from repro.lint.verify import BSPDisciplineError, VerifiedMachine
 
 __all__ = [
@@ -38,6 +43,11 @@ __all__ = [
     "ModulePragmas",
     "Finding",
     "RULES",
+    "DATAFLOW_RULES",
+    "explain_rule",
+    "CallGraph",
+    "to_sarif",
+    "write_sarif",
     "LintResult",
     "lint_file",
     "lint_paths",

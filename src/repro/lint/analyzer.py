@@ -1,15 +1,20 @@
-"""AST cost-leak detector.
+"""AST cost-leak detector and per-function fact extractor.
 
-Walks one module and reports every operation that computes or moves data
-without charging the simulated machine:
+Walks one module and produces two things:
 
-* ``REPRO001`` — dense-math ops (``@``, ``np.dot``, ``np.outer``, ``.dot``,
-  ``np.einsum``, ...) anywhere outside :mod:`repro.bsp.kernels`;
-* ``REPRO002`` — direct ``numpy.linalg`` / ``scipy.linalg`` calls;
-* ``REPRO003`` — ``.copy()`` of a rank-owned ``.data`` buffer inside a
-  function that performs no communication/traffic charge;
-* ``REPRO004`` — a ``p2p`` send/recv pair with no ``superstep`` barrier in
-  the same function.
+* **immediate findings** — operations that are wrong wherever they appear:
+  ``REPRO001`` (dense-math ops outside :mod:`repro.bsp.kernels`) and
+  ``REPRO002`` (direct ``numpy.linalg`` / ``scipy.linalg`` calls);
+* a :class:`~repro.lint.callgraph.ModuleSummary` — per-function facts
+  (charging calls, ``.data`` copies, ``p2p`` sites, send/write/barrier flow
+  events, rank-store reads/aliases, buffer escapes) that the
+  interprocedural rules in :mod:`repro.lint.dataflow` evaluate over the
+  project call graph.
+
+:func:`analyze_source` is the historical entry point: immediate findings
+plus the REPRO003/REPRO004 charge rules resolved against a *module-local*
+call graph (a helper in the same module that charges or supersteps on the
+caller's behalf is understood; cross-module helpers need ``--dataflow``).
 
 The analyzer is purely syntactic (no imports are executed); pragma and
 baseline filtering happen in :mod:`repro.lint.runner`.
@@ -19,44 +24,109 @@ from __future__ import annotations
 
 import ast
 
+from repro.lint.callgraph import (
+    BARRIER_CALLS,
+    CHARGE_CALLS,
+    COMM_CALLS,
+    MEMORY_CALLS,
+    CallGraph,
+    CallSite,
+    Escape,
+    FunctionFacts,
+    ModuleSummary,
+    module_name_for,
+)
 from repro.lint.rules import Finding, make_finding
+
+__all__ = [
+    "analyze_source",
+    "analyze_module",
+    "CHARGE_CALLS",
+    "FLOP_FUNCS",
+    "ModuleAnalysis",
+]
 
 #: numpy top-level functions that perform O(size)+ dense arithmetic
 FLOP_FUNCS = frozenset(
     {"dot", "matmul", "vdot", "inner", "outer", "einsum", "tensordot", "kron", "cross"}
 )
 
-#: calls that charge the machine — their presence marks a function as
-#: "charging" for the REPRO003 heuristic
-CHARGE_CALLS = frozenset(
+#: numpy top-level functions whose result copies their array argument —
+#: applied to a ``.data`` expression these are REPRO003 data copies
+NUMPY_COPY_FUNCS = frozenset({"copy", "array", "asarray", "ascontiguousarray"})
+
+#: numpy array allocators / combinators — names assigned from these are
+#: tracked as array-like for the REPRO007 in-flight window
+NUMPY_ALLOC_FUNCS = frozenset(
     {
-        "charge_comm",
-        "charge_comm_batch",
-        "charge_comm_matrix",
-        "charge_flops",
-        "charge_flops_batch",
-        "superstep",
-        "mem_stream",
-        "mem_stream_group",
-        "mem_read",
-        "mem_write",
-        "charge_store",
-        "fetch_window",
-        "store_window",
-        "redistribute",
-        "replicate",
-        "bcast",
-        "reduce",
-        "allreduce",
-        "reduce_scatter",
-        "allgather",
-        "gather",
-        "scatter",
-        "alltoall",
-        "alltoall_matrix",
-        "p2p",
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "zeros_like",
+        "ones_like",
+        "empty_like",
+        "full_like",
+        "eye",
+        "arange",
+        "linspace",
+        "diag",
+        "hstack",
+        "vstack",
+        "concatenate",
+        "stack",
+        "copy",
+        "array",
+        "asarray",
+        "ascontiguousarray",
     }
 )
+
+#: view-preserving passthroughs: applied to a ``.data`` expression the
+#: result still aliases rank-owned storage (escape analysis, REPRO009)
+VIEW_FUNCS = frozenset({"asarray", "ascontiguousarray", "atleast_1d", "atleast_2d"})
+
+#: attribute accesses that mark a name as array-like
+ARRAYISH_ATTRS = frozenset(
+    {"size", "shape", "T", "dtype", "ndim", "copy", "astype", "fill", "reshape", "ravel"}
+)
+
+#: builtins / pure readers whose arguments do not escape (REPRO009)
+SAFE_ARG_CALLEES = frozenset(
+    {
+        "len",
+        "float",
+        "int",
+        "bool",
+        "str",
+        "repr",
+        "print",
+        "min",
+        "max",
+        "sum",
+        "abs",
+        "round",
+        "sorted",
+        "list",
+        "tuple",
+        "set",
+        "dict",
+        "enumerate",
+        "zip",
+        "range",
+        "isinstance",
+        "hasattr",
+        "getattr",
+        "iter",
+        "next",
+        "id",
+        "type",
+        "format",
+    }
+)
+
+#: range() bounds that look like a processor count (rank-loop detection)
+RANK_COUNT_NAMES = frozenset({"p", "nranks", "n_ranks", "num_ranks", "world_size", "size"})
 
 
 def _attr_chain(node: ast.AST) -> list[str] | None:
@@ -76,6 +146,19 @@ def _mentions_data_attr(node: ast.AST) -> bool:
     return any(isinstance(sub, ast.Attribute) and sub.attr == "data" for sub in ast.walk(node))
 
 
+def _names_in(node: ast.AST) -> set[str]:
+    """All plain names and ``x.data`` chains referenced in an expression."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute) and sub.attr == "data":
+            chain = _attr_chain(sub)
+            if chain:
+                out.add(".".join(chain))
+    return out
+
+
 class _Imports:
     """Names under which numpy / scipy / their linalg submodules are visible."""
 
@@ -84,12 +167,14 @@ class _Imports:
         self.scipy: set[str] = set()
         self.linalg_mods: set[str] = set()  # aliases of numpy.linalg / scipy.linalg
         self.linalg_names: set[str] = set()  # names imported *from* those modules
+        self.aliases: dict[str, str] = {}  # any alias -> dotted target
 
     def collect(self, tree: ast.AST) -> None:
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     name, asname = alias.name, alias.asname or alias.name.split(".")[0]
+                    self.aliases[asname] = name
                     if name == "numpy":
                         self.numpy.add(asname)
                     elif name == "scipy":
@@ -97,6 +182,8 @@ class _Imports:
                     elif name in ("numpy.linalg", "scipy.linalg") and alias.asname:
                         self.linalg_mods.add(alias.asname)
             elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
                 if node.module in ("numpy", "scipy"):
                     for alias in node.names:
                         if alias.name == "linalg":
@@ -106,15 +193,19 @@ class _Imports:
                         self.linalg_names.add(alias.asname or alias.name)
 
 
-class _Scope:
-    """Per-function facts needed by the REPRO003/REPRO004 heuristics."""
+class _FnState:
+    """Mutable per-function analysis state wrapped around FunctionFacts."""
 
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.data_copies: list[ast.Call] = []
-        self.p2p_calls: list[ast.Call] = []
-        self.charges = False
-        self.has_superstep = False
+    def __init__(self, facts: FunctionFacts) -> None:
+        self.facts = facts
+        self.data_buffers: set[str] = set()  # names aliasing .data storage
+        self.arraylike: set[str] = set()  # names holding any ndarray
+        self.rank_loop_stack: list[set[str]] = []
+        self.rank_vars: set[str] = set()
+        self.rank_stores: set[str] = set()  # names subscript-assigned by a rank var
+        # candidates filtered against the final rank_stores at scope pop
+        self.read_candidates: list[tuple[str, int, int, str]] = []
+        self.alias_candidates: list[tuple[str, int, int, str]] = []
 
 
 class CostLeakVisitor(ast.NodeVisitor):
@@ -123,7 +214,12 @@ class CostLeakVisitor(ast.NodeVisitor):
         self.imports = imports
         self.findings: list[Finding] = []
         self._flagged: set[int] = set()  # id(node) de-duplication
-        self.scopes: list[_Scope] = [_Scope("<module>")]
+        module_facts = FunctionFacts(qualname="<module>", name="<module>", cls=None, lineno=1)
+        self.states: list[_FnState] = [_FnState(module_facts)]
+        self.summary_functions: dict[str, FunctionFacts] = {"<module>": module_facts}
+        self.classes: dict[str, list[str]] = {}
+        self._class_stack: list[str] = []
+        self._qual_stack: list[str] = []
 
     # -------------------------------------------------------------- #
 
@@ -135,34 +231,332 @@ class CostLeakVisitor(ast.NodeVisitor):
             make_finding(self.path, getattr(node, "lineno", 1), getattr(node, "col_offset", 0), rule, detail)
         )
 
+    @property
+    def _state(self) -> _FnState:
+        return self.states[-1]
+
     # -------------------------------------------------------------- #
     # scopes
 
-    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
-        self.scopes.append(_Scope(node.name))
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        name = ".".join(self._class_stack + [node.name]) if self._class_stack else node.name
+        self._class_stack.append(node.name)
+        self._qual_stack.append(node.name)
+        self.classes.setdefault(name, [])
         self.generic_visit(node)
-        scope = self.scopes.pop()
-        if scope.data_copies and not scope.charges:
-            for call in scope.data_copies:
-                self._emit(
-                    call,
-                    "REPRO003",
-                    f"'.data' buffer copied in {scope.name}() which performs no "
-                    "communication or traffic charge",
-                )
-        if scope.p2p_calls and not scope.has_superstep:
-            for call in scope.p2p_calls:
-                self._emit(
-                    call,
-                    "REPRO004",
-                    f"p2p() in {scope.name}() is never closed by a superstep barrier",
-                )
+        self._qual_stack.pop()
+        self._class_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        parent_is_class = bool(self._class_stack) and len(self._qual_stack) == len(
+            self._class_stack
+        )
+        if self._qual_stack and not parent_is_class:
+            qualname = ".".join(self._qual_stack) + f".<locals>.{node.name}"
+        elif self._qual_stack:
+            qualname = ".".join(self._qual_stack) + f".{node.name}"
+        else:
+            qualname = node.name
+        cls = ".".join(self._class_stack) if parent_is_class else None
+        facts = FunctionFacts(qualname=qualname, name=node.name, cls=cls, lineno=node.lineno)
+        self.summary_functions[qualname] = facts
+        if cls is not None:
+            self.classes.setdefault(cls, []).append(qualname)
+        self.states.append(_FnState(facts))
+        self._qual_stack.append(node.name)
+        self.generic_visit(node)
+        self._qual_stack.pop()
+        self._finish_scope(self.states.pop())
+
+    def _finish_scope(self, state: _FnState) -> None:
+        """Filter store-order-sensitive candidates now that the scope is complete."""
+        facts = state.facts
+        for store, line, col, detail in state.read_candidates:
+            if store in state.rank_stores:
+                facts.cross_reads.append((line, col, detail))
+        for store, line, col, detail in state.alias_candidates:
+            if store in state.rank_stores:
+                facts.alias_stores.append((line, col, detail))
+        # restrict flow events to names known to hold arrays
+        tracked = state.arraylike | state.data_buffers
+        kept: list[tuple[str, int, int, object]] = []
+        for kind, line, col, payload in facts.flow:
+            if kind == "send":
+                names = {
+                    n for n in payload if n in tracked or "." in n  # type: ignore[union-attr]
+                }
+                if not names:
+                    continue
+                payload = frozenset(names)
+            elif kind == "write" and payload not in tracked and "." not in str(payload):
+                continue
+            kept.append((kind, line, col, payload))
+        facts.flow = kept
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        state = self._state
+        params = {a.arg for a in node.args.args}
+        captured = {
+            n.id
+            for n in ast.walk(node.body)
+            if isinstance(n, ast.Name) and n.id in state.data_buffers and n.id not in params
+        }
+        for name in sorted(captured):
+            state.facts.escapes.append(
+                Escape("closure", node.lineno, node.col_offset,
+                       f"buffer '{name}' captured by a lambda")
+            )
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- #
+    # rank loops (REPRO006/REPRO008 anchors)
+
+    def _is_rank_iter(self, node: ast.AST) -> bool:
+        chain = _attr_chain(node)
+        if chain is not None:
+            tail = chain[-1]
+            return "group" in tail or tail == "ranks"
+        if isinstance(node, ast.Call):
+            cchain = _attr_chain(node.func)
+            callee = cchain[-1] if cchain else None
+            if callee == "group":
+                return True
+            if callee in ("enumerate", "sorted", "reversed", "list", "tuple") and node.args:
+                return self._is_rank_iter(node.args[0])
+            if callee == "range" and node.args:
+                bound = node.args[-1] if len(node.args) >= 2 else node.args[0]
+                bchain = _attr_chain(bound)
+                if bchain is not None and bchain[-1] in RANK_COUNT_NAMES:
+                    return True
+                if isinstance(bound, ast.Call):
+                    inner = _attr_chain(bound.func)
+                    if inner == ["len"] and bound.args and self._is_rank_iter(bound.args[0]):
+                        return True
+        return False
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> set[str]:
+        return {n.id for n in ast.walk(target) if isinstance(n, ast.Name)}
+
+    def visit_For(self, node: ast.For) -> None:
+        state = self._state
+        if self._is_rank_iter(node.iter):
+            loop_vars = self._target_names(node.target)
+            state.rank_loop_stack.append(loop_vars)
+            state.rank_vars |= loop_vars
+            self.generic_visit(node)
+            state.rank_loop_stack.pop()
+        else:
+            self.generic_visit(node)
+
+    # -------------------------------------------------------------- #
+    # assignments: buffer tracking, writes, rank stores, aliasing
+
+    def _is_data_derived(self, node: ast.AST) -> bool:
+        """Does this expression alias rank-owned ``.data`` storage (no copy)?"""
+        state = self._state
+        if isinstance(node, ast.Name):
+            return node.id in state.data_buffers
+        if isinstance(node, ast.Attribute):
+            if node.attr == "data":
+                return True
+            if node.attr in ("T", "real", "imag"):
+                return self._is_data_derived(node.value)
+            return False
+        if isinstance(node, ast.Subscript):
+            return self._is_data_derived(node.value)
+        if isinstance(node, ast.Starred):
+            return self._is_data_derived(node.value)
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain and len(chain) == 2 and chain[0] in self.imports.numpy:
+                if chain[1] in VIEW_FUNCS and node.args:
+                    return self._is_data_derived(node.args[0])
+                return False
+            # method passthroughs that return views of the receiver
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("reshape", "view", "ravel", "transpose")
+            ):
+                return self._is_data_derived(node.func.value)
+            return False
+        return False
+
+    def _is_arraylike_value(self, node: ast.AST) -> bool:
+        state = self._state
+        if self._is_data_derived(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in state.arraylike
+        if isinstance(node, ast.Subscript) or isinstance(node, ast.Attribute):
+            inner = node.value
+            if isinstance(inner, ast.Name):
+                return inner.id in state.arraylike
+            return False
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            return bool(
+                chain
+                and len(chain) == 2
+                and chain[0] in self.imports.numpy
+                and chain[1] in NUMPY_ALLOC_FUNCS
+            )
+        if isinstance(node, ast.BinOp):
+            return self._is_arraylike_value(node.left) or self._is_arraylike_value(node.right)
+        return False
+
+    def _record_write(self, target: ast.AST, node: ast.stmt) -> None:
+        """Record in-place writes for the REPRO007 in-flight window."""
+        state = self._state
+        written: str | None = None
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            bchain = _attr_chain(base)
+            if isinstance(base, ast.Name):
+                written = base.id
+            elif bchain and bchain[-1] == "data":
+                written = ".".join(bchain)
+        elif isinstance(target, ast.Name) and isinstance(node, ast.AugAssign):
+            written = target.id  # ndarray += mutates in place
+        if written is not None:
+            state.facts.flow.append(("write", node.lineno, node.col_offset, written))
+
+    def _record_rank_store(self, target: ast.AST, value: ast.AST | None, node: ast.stmt) -> None:
+        state = self._state
+        if not (isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name)):
+            return
+        idx_names = self._target_names(target.slice)
+        if not (idx_names & state.rank_vars):
+            return
+        store = target.value.id
+        state.rank_stores.add(store)
+        if value is not None and not isinstance(node, ast.AugAssign):
+            if self._is_data_derived(value) or (
+                isinstance(value, ast.Subscript)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in (state.rank_stores | {store})
+            ):
+                state.alias_candidates.append(
+                    (
+                        store,
+                        node.lineno,
+                        node.col_offset,
+                        f"rank-indexed store '{store}[...]' aliases a live buffer "
+                        "(stored without .copy())",
+                    )
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        state = self._state
+        for target in node.targets:
+            self._record_write(target, node)
+            self._record_rank_store(target, node.value, node)
+            if isinstance(target, ast.Name):
+                if self._is_data_derived(node.value):
+                    state.data_buffers.add(target.id)
+                elif target.id in state.data_buffers:
+                    state.data_buffers.discard(target.id)  # rebound to something else
+                if self._is_arraylike_value(node.value):
+                    state.arraylike.add(target.id)
+            elif isinstance(target, ast.Attribute) and self._is_data_derived(node.value):
+                state.facts.escapes.append(
+                    Escape(
+                        "attribute",
+                        node.lineno,
+                        node.col_offset,
+                        f"'.data' buffer stored on attribute "
+                        f"'{'.'.join(_attr_chain(target) or ['?', target.attr])}'",
+                    )
+                )
+            elif isinstance(target, ast.Tuple):
+                for elt in target.elts:
+                    self._record_write(elt, node)
+                    self._record_rank_store(elt, None, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(node.target, ast.Name):
+            state = self._state
+            if self._is_data_derived(node.value):
+                state.data_buffers.add(node.target.id)
+            if self._is_arraylike_value(node.value):
+                state.arraylike.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, ast.MatMult):
+            self._emit(node, "REPRO001", "in-place '@=' outside repro.bsp.kernels")
+        self._record_write(node.target, node)
+        self._record_rank_store(node.target, None, node)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and self._is_data_derived(node.value):
+            self._state.facts.escapes.append(
+                Escape("return", node.lineno, node.col_offset, "'.data' buffer returned")
+            )
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- #
+    # loads: cross-rank reads, array-ish attribute marking
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        state = self._state
+        if isinstance(node.ctx, ast.Load) and isinstance(node.value, ast.Name):
+            store = node.value.id
+            idx = node.slice
+            idx_rank_names = self._target_names(idx) & state.rank_vars
+            if idx_rank_names:
+                innermost = state.rank_loop_stack[-1] if state.rank_loop_stack else set()
+                bare = isinstance(idx, ast.Name)
+                if not bare:
+                    state.read_candidates.append(
+                        (
+                            store,
+                            node.lineno,
+                            node.col_offset,
+                            f"'{store}[...]' read with derived rank index "
+                            f"({', '.join(sorted(idx_rank_names))} arithmetic)",
+                        )
+                    )
+                elif state.rank_loop_stack and idx.id not in innermost:
+                    state.read_candidates.append(
+                        (
+                            store,
+                            node.lineno,
+                            node.col_offset,
+                            f"'{store}[{idx.id}]' read inside a loop over a different rank",
+                        )
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in ARRAYISH_ATTRS and isinstance(node.value, ast.Name):
+            self._state.arraylike.add(node.value.id)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # closure capture: a nested function reading an outer scope's buffer
+        if isinstance(node.ctx, ast.Load) and len(self.states) > 2:
+            for outer in self.states[1:-1]:
+                if node.id in outer.data_buffers and node.id not in self._state.data_buffers:
+                    outer.facts.escapes.append(
+                        Escape(
+                            "closure",
+                            node.lineno,
+                            node.col_offset,
+                            f"buffer '{node.id}' captured by nested function "
+                            f"{self._state.facts.name}()",
+                        )
+                    )
+                    break
+        self.generic_visit(node)
 
     # -------------------------------------------------------------- #
     # dense-math operators
@@ -172,29 +566,105 @@ class CostLeakVisitor(ast.NodeVisitor):
             self._emit(node, "REPRO001", "matrix-multiply operator '@' outside repro.bsp.kernels")
         self.generic_visit(node)
 
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        if isinstance(node.op, ast.MatMult):
-            self._emit(node, "REPRO001", "in-place '@=' outside repro.bsp.kernels")
-        self.generic_visit(node)
-
     # -------------------------------------------------------------- #
     # calls
 
     def visit_Call(self, node: ast.Call) -> None:
-        scope = self.scopes[-1]
+        state = self._state
+        facts = state.facts
         func = node.func
         chain = _attr_chain(func)
         callee = chain[-1] if chain else (func.attr if isinstance(func, ast.Attribute) else None)
+        site = (node.lineno, node.col_offset)
         if callee in CHARGE_CALLS:
-            scope.charges = True
+            facts.charges = True
+            if callee in COMM_CALLS:
+                facts.comms = True
             if callee == "superstep":
-                scope.has_superstep = True
+                facts.has_superstep = True
             if callee == "p2p":
-                scope.p2p_calls.append(node)
+                facts.p2p_calls.append(site)
+        if callee in MEMORY_CALLS:
+            facts.notes_memory = True
+        # ---- REPRO007 flow events ---------------------------------------
+        if callee in BARRIER_CALLS:
+            facts.flow.append(("barrier", site[0], site[1], None))
+        elif callee == "p2p" or (
+            callee in ("charge_comm", "charge_comm_matrix")
+            and (node.args or any(kw.arg == "sends" for kw in node.keywords))
+        ):
+            referenced: set[str] = set()
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                referenced |= _names_in(arg)
+            facts.flow.append(("send", site[0], site[1], frozenset(referenced)))
+        elif chain is not None and callee not in CHARGE_CALLS:
+            facts.flow.append(("call", site[0], site[1], tuple(chain)))
+        # ---- call-graph edge --------------------------------------------
+        if chain is not None:
+            facts.calls.append(CallSite(tuple(chain), site[0], site[1]))
+        # ---- immediate rules --------------------------------------------
         self._check_numpy_call(node, func, chain)
-        if callee == "copy" and isinstance(func, ast.Attribute) and _mentions_data_attr(func.value):
-            scope.data_copies.append(node)
+        self._check_data_copy(node, func, chain, callee)
+        self._check_arg_escape(node, chain, callee)
         self.generic_visit(node)
+
+    def _check_data_copy(
+        self, node: ast.Call, func: ast.AST, chain: list[str] | None, callee: str | None
+    ) -> None:
+        """REPRO003 copy forms: ``.data*.copy()``, a tracked buffer's
+        ``.copy()``, and ``np.copy/array/asarray/ascontiguousarray(.data)``."""
+        state = self._state
+        is_copy = False
+        if (
+            chain
+            and len(chain) == 2
+            and chain[0] in self.imports.numpy
+            and chain[1] in NUMPY_COPY_FUNCS
+        ):
+            # np.copy/array/asarray/ascontiguousarray(<.data expr>) — checked
+            # before the method form so np.copy's terminal "copy" is not
+            # mistaken for a '<name>.copy()' whose receiver is the module
+            if any(
+                _mentions_data_attr(arg) or self._is_data_derived(arg) for arg in node.args
+            ):
+                is_copy = True
+        elif callee == "copy" and isinstance(func, ast.Attribute):
+            base = func.value
+            if _mentions_data_attr(base):
+                is_copy = True
+            elif isinstance(base, ast.Name) and base.id in state.data_buffers:
+                is_copy = True
+        if is_copy:
+            state.facts.data_copies.append((node.lineno, node.col_offset))
+
+    def _check_arg_escape(
+        self, node: ast.Call, chain: list[str] | None, callee: str | None
+    ) -> None:
+        """REPRO009 candidate: a ``.data`` buffer passed to a callee."""
+        if callee in CHARGE_CALLS or callee in MEMORY_CALLS:
+            return
+        if chain is not None:
+            head = chain[0]
+            if head in self.imports.numpy or head in self.imports.scipy:
+                return
+            if len(chain) == 1 and head in SAFE_ARG_CALLEES:
+                return
+        escaping = [
+            arg
+            for arg in list(node.args) + [kw.value for kw in node.keywords]
+            if self._is_data_derived(arg)
+        ]
+        if not escaping:
+            return
+        self._state.facts.escapes.append(
+            Escape(
+                "arg",
+                node.lineno,
+                node.col_offset,
+                f"'.data' buffer passed to {'.'.join(chain) if chain else '<expression>'}()",
+                callee=tuple(chain) if chain else None,
+            )
+        )
 
     def _check_numpy_call(self, node: ast.Call, func: ast.AST, chain: list[str] | None) -> None:
         imp = self.imports
@@ -227,24 +697,54 @@ class CostLeakVisitor(ast.NodeVisitor):
                 self._emit(node, "REPRO001", "ndarray .dot() outside repro.bsp.kernels")
 
 
-def analyze_source(source: str, path: str) -> list[Finding]:
-    """Analyze one module's source; returns raw findings (pragmas not applied)."""
+class ModuleAnalysis:
+    """Result of :func:`analyze_module`: immediate findings + the summary."""
+
+    def __init__(self, summary: ModuleSummary, immediate: list[Finding]) -> None:
+        self.summary = summary
+        self.immediate = immediate
+
+    @property
+    def parse_failed(self) -> bool:
+        return any(f.rule == "REPRO000" for f in self.immediate)
+
+
+def analyze_module(source: str, path: str) -> ModuleAnalysis:
+    """Analyze one module: (REPRO001/002 findings, per-function fact summary)."""
+    summary = ModuleSummary(path=path, module=module_name_for(path), source=source)
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
-        return [make_finding(path, exc.lineno or 1, exc.offset or 0, "REPRO000", f"parse-error: {exc.msg}")]
+        return ModuleAnalysis(
+            summary,
+            [make_finding(path, exc.lineno or 1, exc.offset or 0, "REPRO000", f"parse-error: {exc.msg}")],
+        )
     imports = _Imports()
     imports.collect(tree)
     visitor = CostLeakVisitor(path, imports)
     visitor.visit(tree)
-    # module-level (outside any def) REPRO003/REPRO004
-    module_scope = visitor.scopes[0]
-    if module_scope.data_copies and not module_scope.charges:
-        for call in module_scope.data_copies:
-            visitor._emit(call, "REPRO003", "'.data' buffer copied at module level with no charge")
-    if module_scope.p2p_calls and not module_scope.has_superstep:
-        for call in module_scope.p2p_calls:
-            visitor._emit(call, "REPRO004", "module-level p2p() never closed by a superstep barrier")
+    visitor._finish_scope(visitor.states[0])  # close the module scope
+    summary.tree = tree
+    summary.functions = visitor.summary_functions
+    summary.classes = visitor.classes
+    summary.imports = imports.aliases
     # nested '@' chains produce one BinOp per operator, often at the same
     # line:col — collapse identical diagnostics
-    return sorted(set(visitor.findings))
+    return ModuleAnalysis(summary, sorted(set(visitor.findings)))
+
+
+def analyze_source(source: str, path: str) -> list[Finding]:
+    """Analyze one module's source; returns raw findings (pragmas not applied).
+
+    REPRO003/REPRO004 are resolved against a module-local call graph: a
+    same-module helper that charges (or supersteps) on the caller's behalf
+    suppresses the finding.  Cross-module resolution needs ``--dataflow``.
+    """
+    from repro.lint.dataflow import charge_findings
+
+    analysis = analyze_module(source, path)
+    if analysis.parse_failed:
+        return analysis.immediate
+    graph = CallGraph([analysis.summary])
+    findings = analysis.immediate + charge_findings(graph)
+    return sorted(set(findings))

@@ -1,0 +1,194 @@
+"""Interprocedural BSP ownership/race rules over the project call graph.
+
+Evaluates the per-function facts collected by :mod:`repro.lint.analyzer`
+against a :class:`~repro.lint.callgraph.CallGraph`:
+
+* :func:`charge_findings` — REPRO003 (uncounted ``.data`` copies) and
+  REPRO004 (unbarriered ``p2p``), call-graph-aware: a helper that charges
+  or supersteps on the caller's behalf — or a caller that always closes
+  the barrier — suppresses the finding.
+* :func:`race_findings` — REPRO006 (cross-rank reads), REPRO007
+  (write-after-send before the closing barrier), REPRO008 (two ranks'
+  buffers aliasing one storage), REPRO009 (buffers escaping uncharged
+  contexts).
+
+Both are pure functions of the graph; pragma and baseline filtering stay
+in :mod:`repro.lint.runner`.  The static race rules complement the dynamic
+:class:`~repro.lint.verify.VerifiedMachine`: the verifier catches a race
+the moment a run trips it, these rules catch it on code the test matrix
+never executes.
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import COMM_CALLS, CallGraph, FuncKey, FunctionFacts
+from repro.lint.rules import Finding, make_finding
+
+
+def charge_findings(graph: CallGraph) -> list[Finding]:
+    """Call-graph-aware REPRO003/REPRO004."""
+    findings: list[Finding] = []
+    for key, facts in graph.facts.items():
+        path, _ = key
+        if facts.data_copies and not _charge_covered(graph, key):
+            where = _describe(facts)
+            for line, col in facts.data_copies:
+                findings.append(
+                    make_finding(
+                        path, line, col, "REPRO003",
+                        f"'.data' buffer copied in {where} which performs no "
+                        "communication or traffic charge (nor do its callers)",
+                    )
+                )
+        if facts.p2p_calls and not _barrier_covered(graph, key):
+            where = _describe(facts)
+            for line, col in facts.p2p_calls:
+                findings.append(
+                    make_finding(
+                        path, line, col, "REPRO004",
+                        f"p2p() in {where} is never closed by a superstep barrier "
+                        "(here or in any caller)",
+                    )
+                )
+    return findings
+
+
+def race_findings(graph: CallGraph) -> list[Finding]:
+    """REPRO006-009 over the whole linted file set."""
+    findings: list[Finding] = []
+    for key, facts in graph.facts.items():
+        findings.extend(_cross_rank_reads(graph, key, facts))
+        findings.extend(_write_after_send(graph, key, facts))
+        findings.extend(_rank_aliases(graph, key, facts))
+        findings.extend(_escapes(graph, key, facts))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# helpers
+
+
+def _describe(facts: FunctionFacts) -> str:
+    return "module-level code" if facts.name == "<module>" else f"{facts.name}()"
+
+
+def _charge_covered(graph: CallGraph, key: FuncKey) -> bool:
+    return graph.transitively_charges(key) or graph.all_known_callers(
+        key, "transitively_charges"
+    )
+
+
+def _barrier_covered(graph: CallGraph, key: FuncKey) -> bool:
+    return graph.transitively_supersteps(key) or graph.all_known_callers(
+        key, "transitively_supersteps"
+    )
+
+
+def _comm_covered(graph: CallGraph, key: FuncKey, facts: FunctionFacts) -> bool:
+    # a function that *is* the communication layer mediates by definition
+    if facts.name in COMM_CALLS:
+        return True
+    return graph.transitively_comms(key) or graph.all_known_callers(
+        key, "transitively_comms"
+    )
+
+
+def _account_covered(graph: CallGraph, key: FuncKey) -> bool:
+    return graph.transitively_accounts(key) or graph.all_known_callers(
+        key, "transitively_accounts"
+    )
+
+
+# --------------------------------------------------------------------- #
+# REPRO006 — cross-rank reads
+
+
+def _cross_rank_reads(graph: CallGraph, key: FuncKey, facts: FunctionFacts) -> list[Finding]:
+    if not facts.cross_reads or _comm_covered(graph, key, facts):
+        return []
+    path, _ = key
+    return [
+        make_finding(
+            path, line, col, "REPRO006",
+            f"{detail} in {_describe(facts)}, whose call closure performs no "
+            "collective / fetch_window / p2p to mediate it",
+        )
+        for line, col, detail in facts.cross_reads
+    ]
+
+
+# --------------------------------------------------------------------- #
+# REPRO007 — write after an unbarriered send
+
+
+def _write_after_send(graph: CallGraph, key: FuncKey, facts: FunctionFacts) -> list[Finding]:
+    findings: list[Finding] = []
+    path, _ = key
+    summary = next(s for s in graph.summaries if s.path == path)
+    in_flight: dict[str, int] = {}  # buffer name -> send line
+    for kind, line, col, payload in facts.flow:
+        if kind == "send":
+            for name in payload:  # type: ignore[union-attr]
+                in_flight[str(name)] = line
+        elif kind == "barrier":
+            in_flight.clear()
+        elif kind == "call":
+            if in_flight and any(
+                graph.transitively_supersteps(callee)
+                for callee in graph.resolve(summary, facts, payload)  # type: ignore[arg-type]
+            ):
+                in_flight.clear()
+        elif kind == "write":
+            name = str(payload)
+            if name in in_flight:
+                findings.append(
+                    make_finding(
+                        path, line, col, "REPRO007",
+                        f"'{name}' is written while in flight (sent on line "
+                        f"{in_flight[name]}) before the closing superstep barrier",
+                    )
+                )
+                del in_flight[name]
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# REPRO008 — rank-buffer aliasing
+
+
+def _rank_aliases(graph: CallGraph, key: FuncKey, facts: FunctionFacts) -> list[Finding]:
+    if not facts.alias_stores or _comm_covered(graph, key, facts):
+        return []
+    path, _ = key
+    return [
+        make_finding(
+            path, line, col, "REPRO008",
+            f"{detail} in {_describe(facts)} with no charged replication",
+        )
+        for line, col, detail in facts.alias_stores
+    ]
+
+
+# --------------------------------------------------------------------- #
+# REPRO009 — buffer escapes from uncharged contexts
+
+
+def _escapes(graph: CallGraph, key: FuncKey, facts: FunctionFacts) -> list[Finding]:
+    if not facts.escapes or _account_covered(graph, key):
+        return []
+    path, _ = key
+    summary = next(s for s in graph.summaries if s.path == path)
+    findings: list[Finding] = []
+    for esc in facts.escapes:
+        if esc.kind == "arg" and esc.callee is not None:
+            callees = graph.resolve(summary, facts, esc.callee)
+            if callees and any(graph.transitively_accounts(c) for c in callees):
+                continue  # the receiver accounts for the buffer
+        findings.append(
+            make_finding(
+                path, esc.lineno, esc.col, "REPRO009",
+                f"{esc.detail} from {_describe(facts)}, whose call closure "
+                "never charges",
+            )
+        )
+    return findings

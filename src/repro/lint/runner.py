@@ -13,7 +13,7 @@ import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.lint.analyzer import analyze_source
+from repro.lint.analyzer import ModuleAnalysis, analyze_module, analyze_source
 from repro.lint.baseline import (
     BASELINE_NAME,
     apply_baseline,
@@ -22,8 +22,9 @@ from repro.lint.baseline import (
     render_baseline,
     stale_entries,
 )
-from repro.lint.pragmas import parse_pragmas
-from repro.lint.rules import Finding, make_finding
+from repro.lint.callgraph import CallGraph
+from repro.lint.pragmas import ModulePragmas, parse_pragmas
+from repro.lint.rules import Finding, explain_rule, make_finding
 
 #: charging / verification layers the rules explicitly exempt (path suffixes
 #: or directory fragments, posix-style, relative to the lint root)
@@ -113,6 +114,7 @@ def lint_paths(
     baseline: Path | None = None,
     use_baseline: bool = True,
     allowlist: tuple[str, ...] = DEFAULT_ALLOWLIST,
+    dataflow: bool = False,
 ) -> LintResult:
     """Lint every ``*.py`` under ``paths``.
 
@@ -120,6 +122,12 @@ def lint_paths(
     baseline (default: the directory holding the discovered baseline, else
     the current directory).  ``baseline=None`` auto-discovers
     ``lint_baseline.txt`` upward from the first path.
+
+    With ``dataflow=True`` the whole file set is linked into one call
+    graph: REPRO003/REPRO004 resolve helpers and callers across modules,
+    the race/ownership rules REPRO006-009 and the cost certificates
+    REPRO010/011 run, and allowlisted files still contribute call-graph
+    context (their own findings stay suppressed).
     """
     if not paths:
         raise ValueError("lint_paths requires at least one path")
@@ -128,18 +136,51 @@ def lint_paths(
     if root is None:
         root = baseline.parent if baseline is not None else Path.cwd()
     result = LintResult(baseline_path=baseline if use_baseline else None)
-    all_findings: list[Finding] = []
+    records: list[tuple[str, ModuleAnalysis, ModulePragmas, bool]] = []
     for file in iter_python_files(paths):
         try:
             rel = file.resolve().relative_to(root.resolve()).as_posix()
         except ValueError:
             rel = file.as_posix()
-        if _is_allowlisted(rel, allowlist):
+        allowlisted = _is_allowlisted(rel, allowlist)
+        if allowlisted and not dataflow:
             continue
-        findings, pragma_suppressed = lint_file(file, rel)
+        source = file.read_text()
+        records.append((rel, analyze_module(source, rel), parse_pragmas(source), allowlisted))
+    # interprocedural findings, grouped back onto their files
+    by_path: dict[str, list[Finding]] = {}
+    if dataflow:
+        from repro.lint.certify import certify_findings
+        from repro.lint.dataflow import charge_findings, race_findings
+
+        summaries = [a.summary for _, a, _, _ in records if not a.parse_failed]
+        graph = CallGraph(summaries)
+        linked = charge_findings(graph) + race_findings(graph) + certify_findings(summaries)
+        for f in linked:
+            by_path.setdefault(f.path, []).append(f)
+    else:
+        from repro.lint.dataflow import charge_findings
+
+        for rel, analysis, _, _ in records:
+            if analysis.parse_failed:
+                continue
+            for f in charge_findings(CallGraph([analysis.summary])):
+                by_path.setdefault(f.path, []).append(f)
+    all_findings: list[Finding] = []
+    for rel, analysis, pragmas, allowlisted in records:
+        if allowlisted:
+            continue
+        raw = sorted(set(analysis.immediate + by_path.get(rel, [])))
+        kept: list[Finding] = []
+        for f in raw:
+            if f.rule != "REPRO000" and pragmas.suppresses(f.line):
+                result.pragma_suppressed += 1
+            else:
+                kept.append(f)
+        for line, col, detail in pragmas.bad:
+            kept.append(make_finding(rel, line, col, "REPRO005", detail))
         result.files_checked += 1
-        result.pragma_suppressed += pragma_suppressed
-        all_findings.extend(findings)
+        all_findings.extend(kept)
     if use_baseline:
         allowed = load_baseline(baseline)
         reported, baselined = apply_baseline(sorted(all_findings), allowed)
@@ -174,6 +215,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="error when a baseline entry allows more findings than currently exist, "
         "forcing the baseline to ratchet down as findings are fixed",
     )
+    parser.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="link the whole file set into one call graph and run the "
+        "interprocedural race/ownership rules (REPRO006-009) and the "
+        "symbolic cost certificates (REPRO010/011)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print the long-form explanation for one rule (e.g. REPRO007) and exit",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 log (for CI code-scanning upload)",
+    )
     return parser
 
 
@@ -187,19 +248,32 @@ def main(argv: list[str] | None = None) -> int:
 
 def _main(argv: list[str] | None) -> int:
     args = build_parser().parse_args(argv)
+    if args.explain is not None:
+        try:
+            print(explain_rule(args.explain))
+        except KeyError as exc:
+            print(f"repro lint: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
     paths = args.paths or default_lint_paths()
     allowlist = () if args.no_default_allowlist else DEFAULT_ALLOWLIST
     if args.write_baseline:
         target = args.baseline or discover_baseline(paths[0]) or Path.cwd() / BASELINE_NAME
         result = lint_paths(
-            paths, root=target.parent, baseline=None, use_baseline=False, allowlist=allowlist
+            paths, root=target.parent, baseline=None, use_baseline=False,
+            allowlist=allowlist, dataflow=args.dataflow,
         )
         target.write_text(render_baseline(result.findings))
         print(f"wrote {len(result.findings)} finding(s) to {target}")
         return 0
     result = lint_paths(
-        paths, baseline=args.baseline, use_baseline=not args.no_baseline, allowlist=allowlist
+        paths, baseline=args.baseline, use_baseline=not args.no_baseline,
+        allowlist=allowlist, dataflow=args.dataflow,
     )
+    if args.sarif is not None:
+        from repro.lint.sarif import write_sarif
+
+        write_sarif(result.findings, str(args.sarif))
     print(result.report())
     if args.fail_stale and result.stale_baseline:
         print(result.stale_report(), file=sys.stderr)

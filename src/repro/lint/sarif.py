@@ -1,0 +1,70 @@
+"""SARIF 2.1.0 export for lint findings (CI code-scanning upload)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.rules import RULES, Finding
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+
+def to_sarif(findings: list[Finding], tool_version: str = "0") -> dict[str, object]:
+    """Render findings as a SARIF 2.1.0 log (one run, one result per finding)."""
+    rules = [
+        {
+            "id": rule,
+            "name": RULES[rule].split(":", 1)[0],
+            "shortDescription": {"text": RULES[rule]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(RULES)
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            # SARIF columns are 1-based; ast columns 0-based
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in sorted(findings)
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(findings: list[Finding], path: str, tool_version: str = "0") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(findings, tool_version), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -221,6 +221,78 @@ def ca_sbr_eigensolver_cost(n: int, p: int) -> AsymptoticCost:
     )
 
 
+# --------------------------------------------------------------------- #
+# symbolic leading terms (consumed by repro.lint.certify)
+
+#: stages with machine-checkable certificates; each maps a metric to the
+#: leading terms of its lemma as {symbol: exponent} monomials, where the
+#: ``p`` exponent may depend on delta.  Sub-leading terms are omitted: the
+#: certifier compares leading-term degrees only.
+LEMMA_STAGES: tuple[str, ...] = (
+    "streaming_mm",
+    "carma",
+    "rect_qr",
+    "square_qr",
+    "full_to_band",
+    "ca_sbr_halve",
+    "band_to_band",
+    "eigensolver_2p5d",
+)
+
+
+def lemma_leading_terms(stage: str, delta: float) -> dict[str, list[dict[str, float]]]:
+    """Leading terms of a stage's lemma, as exponent maps per metric.
+
+    ``{"flops": [{"n": 3, "p": -1}], "words": [{"n": 2, "p": -delta}]}``
+    means F = O(n^3/p) and W = O(n^2/p^delta).  The exponent maps mirror
+    the closed forms of the ``*_cost`` functions above (a consistency the
+    test suite cross-checks by finite-difference log-slopes).
+    """
+    d = float(delta)
+    table: dict[str, dict[str, list[dict[str, float]]]] = {
+        "streaming_mm": {
+            "flops": [{"m": 1, "n": 1, "k": 1, "p": -1}],
+            "words": [{"m": 1, "k": 1, "p": -d}, {"n": 1, "k": 1, "p": -d}],
+        },
+        "carma": {
+            "flops": [{"m": 1, "n": 1, "k": 1, "p": -1}],
+            "words": [
+                {"m": 1, "n": 1, "p": -1},
+                {"n": 1, "k": 1, "p": -1},
+                {"m": 1, "k": 1, "p": -1},
+                {"m": 2 / 3, "n": 2 / 3, "k": 2 / 3, "p": -2 / 3},
+            ],
+        },
+        "rect_qr": {
+            "flops": [{"m": 1, "n": 2, "p": -1}],
+            "words": [{"m": d, "n": 2 - d, "p": -d}, {"m": 1, "n": 1, "p": -1}],
+        },
+        "square_qr": {
+            "flops": [{"n": 3, "p": -1}],
+            "words": [{"n": 2, "p": -d}],
+        },
+        "full_to_band": {
+            "flops": [{"n": 3, "p": -1}],
+            "words": [{"n": 2, "p": -d}],
+        },
+        "ca_sbr_halve": {
+            "flops": [{"n": 2, "b": 1, "p": -1}],
+            "words": [{"n": 1, "b": 1}],
+        },
+        "band_to_band": {
+            "flops": [{"n": 2, "b": 1, "p": -1}],
+            "words": [{"n": 1 + d, "b": 1 - d, "p": -d}],
+        },
+        "eigensolver_2p5d": {
+            "flops": [{"n": 3, "p": -1}],
+            "words": [{"n": 2, "p": -d}],
+        },
+    }
+    if stage not in table:
+        raise KeyError(f"unknown lemma stage {stage!r} (known: {', '.join(LEMMA_STAGES)})")
+    return table[stage]
+
+
 def delta_to_c(p: int, delta: float) -> float:
     """Replication factor c = p^{2δ−1}."""
     return p ** (2.0 * delta - 1.0)

@@ -1,0 +1,49 @@
+"""Known-clean BSP idioms (mirrors blocks/ and dist/): the dataflow rules
+must stay silent on every function in this module."""
+
+import numpy as np
+
+
+def scatter_blocks(machine, grid, a):
+    """Per-rank block distribution mediated by a charged collective."""
+    group = grid.group()
+    blocks = {}
+    for idx, rank in enumerate(group):
+        blocks[rank] = a[idx :: len(group), :].copy()
+        machine.note_memory(rank, float(blocks[rank].size))
+    machine.charge_comm_batch(group, float(a.size), float(a.size))
+    machine.superstep(group, 1)
+    return blocks
+
+
+def accumulate_partials(machine, group, partials):
+    """Reduction over per-rank partials, charged and barriered."""
+    total = None
+    for rank in group:
+        part = partials[rank]
+        total = part if total is None else total + part
+    machine.charge_comm_batch(group, float(len(group)), 0.0)
+    machine.superstep(group, 1)
+    return total
+
+
+def ring_shift(machine, group, buffers):
+    """p2p ring exchange: every send is closed by the barrier."""
+    for rank in group:
+        machine.p2p(rank, (rank + 1) % len(group), float(buffers[rank].size))
+    machine.superstep(group, len(group))
+    for rank in group:
+        buffers[rank] = buffers[(rank - 1) % len(group)].copy()
+    return buffers
+
+
+def owner_slices(machine, grid, a, b):
+    """Streaming panel walk over local (non-rank-indexed) arrays."""
+    n = a.shape[0]
+    c0 = 0
+    out = np.zeros((n, b))
+    while n - c0 > b:
+        out[c0 : c0 + b, :] = a[c0 :, c0 : c0 + b][:b, :]
+        machine.mem_stream_group(grid.group(), float(n * b))
+        c0 += b
+    return out

@@ -1,0 +1,28 @@
+"""REPRO004 regression (false-positive fix): the superstep barrier that
+closes a p2p pair may live in a helper called by the sending function, or
+in every caller of a send-only helper.  Both patterns are clean."""
+
+
+def _sync(machine, pair):
+    machine.superstep(pair, 1)
+
+
+def exchange_via_helper(machine, pair, src, dst, words):
+    """The barrier is inside _sync(): no REPRO004."""
+    machine.p2p(src, dst, words)
+    _sync(machine, pair)
+
+
+def _send_only(machine, src, dst, words):
+    """Send-only helper: every caller below closes the barrier."""
+    machine.p2p(src, dst, words)
+
+
+def caller_closes_barrier(machine, pair, src, dst, words):
+    _send_only(machine, src, dst, words)
+    machine.superstep(pair, 1)
+
+
+def other_caller_also_closes(machine, pair, src, dst, words):
+    _send_only(machine, src, dst, words)
+    _sync(machine, pair)

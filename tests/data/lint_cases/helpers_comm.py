@@ -1,0 +1,12 @@
+"""Charged communication helpers for the cross-module dataflow fixtures."""
+
+
+def exchange_halo(machine, group):
+    """Move every rank's boundary row to its neighbor (charged + barriered)."""
+    machine.charge_comm_batch(group, 16.0, 16.0)
+    machine.superstep(group, 1)
+
+
+def close_superstep(machine, group):
+    """Barrier-only helper: closes whatever sends are in flight."""
+    machine.superstep(group, 1)

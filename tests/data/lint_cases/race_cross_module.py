@@ -1,0 +1,18 @@
+"""Cross-module REPRO006 fixture: the mediating collective lives in another
+module (helpers_comm).  Linted alone this function looks like a race; the
+--dataflow call graph resolves exchange_halo() and keeps it clean."""
+
+from helpers_comm import exchange_halo
+
+
+def make_block(rank):
+    return [[float(rank)]]
+
+
+def neighbor_update_via_helper(machine, buffers, group):
+    for rank in group:
+        buffers[rank] = make_block(rank)
+    exchange_halo(machine, group)
+    for rank in group:
+        buffers[rank] = buffers[rank] + buffers[(rank + 1) % len(group)]
+    return buffers

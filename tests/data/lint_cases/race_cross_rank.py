@@ -1,0 +1,44 @@
+"""REPRO006 fixtures: cross-rank reads with and without mediation."""
+
+
+def make_block(rank):
+    return [[float(rank)]]
+
+
+def unmediated_neighbor_read(buffers, group):
+    """True positive: folds in the neighbor's buffer, never communicates."""
+    for rank in group:
+        buffers[rank] = make_block(rank)
+    for rank in group:
+        buffers[rank] = buffers[rank] + buffers[(rank + 1) % len(group)]  # MARK:cross-read
+    return buffers
+
+
+def mediated_neighbor_read(machine, buffers, group):
+    """Known clean: the halo moved through a charged collective first."""
+    for rank in group:
+        buffers[rank] = make_block(rank)
+    machine.charge_comm_batch(group, 8.0, 8.0)
+    machine.superstep(group, 1)
+    for rank in group:
+        buffers[rank] = buffers[rank] + buffers[(rank + 1) % len(group)]
+    return buffers
+
+
+def pragma_waived_read(buffers, group):
+    """Suppressed: the caller exchanged the halo before entry."""
+    for rank in group:
+        buffers[rank] = make_block(rank)
+    for rank in group:
+        buffers[rank] = buffers[rank] + buffers[(rank - 1) % len(group)]  # cost: free(halo exchanged by the caller before entry)
+    return buffers
+
+
+def nested_grid_read(buffers, row_group, col_group):
+    """True positive: reads a row peer's buffer inside the column loop."""
+    for r in row_group:
+        buffers[r] = make_block(r)
+    for r in row_group:
+        for s in col_group:
+            buffers[s] = buffers[r] + make_block(s)  # MARK:foreign-rank-read
+    return buffers

@@ -1,0 +1,37 @@
+"""REPRO008 fixtures: rank-indexed stores that alias live buffers."""
+
+
+def share_one_buffer(dist, group):
+    """True positive: every rank's slot points at the same '.data' storage."""
+    blocks = {}
+    for rank in group:
+        blocks[rank] = dist.data  # MARK:alias-store
+    return blocks
+
+
+def alias_neighbor_slot(group, blocks):
+    """True positive: rank slots rebound to another slot's storage."""
+    for rank in group:
+        blocks[rank] = blocks[0]  # MARK:alias-neighbor
+    return blocks
+
+
+def copy_per_rank(machine, dist, group):
+    """Known clean: each rank gets a charged private copy."""
+    blocks = {}
+    for rank in group:
+        blocks[rank] = dist.data.copy()
+    machine.charge_comm_batch(group, float(dist.data.size), 0.0)
+    machine.superstep(group, 1)
+    return blocks
+
+
+def replicate_with_charge(machine, dist, group):
+    """Known clean: aliasing is fine when the replication is charged —
+    the simulator's collectives share storage deliberately."""
+    blocks = {}
+    machine.charge_comm_batch(group, float(dist.data.size), float(dist.data.size))
+    machine.superstep(group, 1)
+    for rank in group:
+        blocks[rank] = dist.data
+    return blocks

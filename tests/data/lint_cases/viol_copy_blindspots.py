@@ -1,0 +1,39 @@
+"""REPRO003 blind-spot fixtures: copy forms the seed analyzer missed."""
+
+import numpy as np
+
+
+def blindspot_np_copy(dist):
+    """np.copy(x.data) is a copy even with no .copy() method call."""
+    return np.copy(dist.data)  # MARK:np-copy
+
+
+def blindspot_np_array(dist):
+    """np.array(...) duplicates the buffer."""
+    dup = np.array(dist.data)  # MARK:np-array
+    return dup
+
+
+def blindspot_slice_copy(dist, rows):
+    """A sliced '.data[...]' copy still moves words."""
+    return dist.data[rows, :].copy()  # MARK:slice-copy
+
+
+def blindspot_asarray(dist):
+    """np.asarray of a '.data' expression (may copy on dtype/layout)."""
+    flat = np.asarray(dist.data)  # MARK:asarray-copy
+    return float(flat[0, 0])
+
+
+def blindspot_derived_copy(dist):
+    """A tracked alias of '.data' copied through a plain name."""
+    view = dist.data
+    return view.copy()  # MARK:derived-copy
+
+
+def charged_np_copy(machine, dist, group):
+    """Known clean: the copy's words are charged."""
+    dup = np.copy(dist.data)
+    machine.charge_comm_batch(group, float(dup.size), 0.0)
+    machine.superstep(group, 1)
+    return dup

@@ -1,0 +1,50 @@
+"""REPRO009 fixtures: rank-owned '.data' buffers escaping uncharged contexts."""
+
+
+def record_somewhere(entry):
+    print("block", entry)
+
+
+def leak_return(dist):
+    """True positive: a live view of rank storage is returned, uncharged."""
+    view = dist.data[::2, :]
+    return view  # MARK:escape-return
+
+
+def hand_to_logger(dist):
+    """True positive: the raw buffer is handed to an uncharging sink."""
+    record_somewhere(dist.data)  # MARK:escape-arg
+    return None
+
+
+def capture_in_closure(dist):
+    """True positive: a nested reader keeps the buffer alive, uncharged."""
+    local = dist.data
+
+    def reader():
+        return local[0]  # MARK:escape-closure
+
+    return reader
+
+
+class BlockCache:
+    def stash(self, dist):
+        """True positive: the transposed view outlives the call."""
+        self.block = dist.data.T  # MARK:escape-attribute
+        return self.block
+
+
+def charged_gather(machine, dist, group):
+    """Known clean: the escape is paid for by a charged collective."""
+    block = dist.data[:1, :]
+    machine.charge_comm_batch(group, float(block.size), 0.0)
+    machine.superstep(group, 1)
+    return block
+
+
+def export_copy(machine, dist, group):
+    """Known clean: a charged copy terminates the buffer's provenance."""
+    out = dist.data.copy()
+    machine.charge_comm_batch(group, float(out.size), 0.0)
+    machine.superstep(group, 1)
+    return out

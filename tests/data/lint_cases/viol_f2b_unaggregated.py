@@ -1,0 +1,32 @@
+"""Asymptotic-regression fixture for the cost certifier (REPRO010).
+
+This variant of full-to-band applies the two-sided trailing update
+*eagerly* on every panel instead of aggregating (U, V) — numerically
+identical, but each panel now touches the whole trailing submatrix, so
+the words moved grow from the lemma's Theta(n^2 / p^delta) to
+Theta(n^3 / (b p^delta)).  certify_source("full_to_band_2p5d", ...) must
+reject this file with REPRO010 on the words metric (the flop degree is
+unchanged and must still pass).
+"""
+
+from repro.blocks.carma import carma_matmul
+from repro.blocks.rect_qr import rect_qr
+from repro.blocks.streaming import streaming_matmul
+
+
+def full_to_band_2p5d(machine, grid, a, b, w=None, tag="f2b-eager"):
+    n = a.shape[0]
+    p = grid.size
+    group = grid.group()
+    c0 = 0
+    while n - c0 > b:
+        panel = a[c0:, c0 : c0 + b].copy()
+        a21 = panel[b:, :]
+        q1, r1, t1 = rect_qr(machine, group, a21)
+        a22 = a[c0 + b :, c0 + b :]
+        v1 = carma_matmul(machine, group, a22, q1)
+        # BUG (deliberate): the full trailing update every panel — the
+        # aggregation of (U, V) across panels is what the lemma requires
+        upd = streaming_matmul(machine, grid, q1, v1.T)
+        c0 += b
+    return a

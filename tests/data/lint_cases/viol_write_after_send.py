@@ -1,0 +1,40 @@
+"""REPRO007 fixtures: writes to buffers that are still in flight."""
+
+
+def overwrite_in_flight(machine, group, left, right, payload):
+    """True positive: the payload is mutated before the barrier lands."""
+    machine.p2p(left, right, float(payload.size))
+    payload[0] = 0.0  # MARK:write-after-send
+    machine.superstep(group, 1)
+
+
+def raw_send_overwrite(machine, group, owner, buf):
+    """True positive: raw charge_comm send, then an in-place '+='."""
+    machine.charge_comm(sends={owner: float(buf.size)})
+    buf += 1.0  # MARK:aug-write-after-send
+    machine.superstep(group, 1)
+
+
+def barrier_then_write(machine, group, left, right, payload):
+    """Known clean: the superstep closes the send before the write."""
+    machine.p2p(left, right, float(payload.size))
+    machine.superstep(group, 1)
+    payload[0] = 0.0
+
+
+def write_after_helper_barrier(machine, group, left, right, payload):
+    """Known clean: the barrier lives in a helper the call graph resolves."""
+    machine.p2p(left, right, float(payload.size))
+    _close(machine, group)
+    payload[0] = 0.0
+
+
+def _close(machine, group):
+    machine.superstep(group, 1)
+
+
+def write_other_buffer_in_flight(machine, group, left, right, payload, scratch):
+    """Known clean: only an unrelated buffer is written while in flight."""
+    machine.p2p(left, right, float(payload.size))
+    scratch[0] = float(scratch.size)
+    machine.superstep(group, 1)

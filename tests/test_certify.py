@@ -1,0 +1,212 @@
+"""Tests for the symbolic cost-certificate engine (``repro.lint.certify``).
+
+Three layers:
+
+* ``Poly`` algebra — the sparse posynomial the extractor computes with;
+* end-to-end certification of the shipped stages (each must extract with
+  no problems and match its ``repro.model.costs`` lemma exactly), plus the
+  deliberate asymptotic regression in ``tests/data/lint_cases/`` that must
+  be rejected with REPRO010;
+* the ``lemma_leading_terms`` registry itself, cross-checked against the
+  numeric ``*_cost`` closed forms by scaling-drift (the ratio of numeric
+  cost to the lemma's leading terms must stay bounded as the point grows).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint.certify import (
+    STAGE_SPECS,
+    Poly,
+    certify_source,
+    parse_hints,
+)
+from repro.model import costs
+from repro.model.costs import LEMMA_STAGES, lemma_leading_terms
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CASES = Path(__file__).parent / "data" / "lint_cases"
+
+THETA = {"n": 1.0, "m": 1.0, "k": 1.0, "b": 0.5, "p": 0.25}
+
+
+def n() -> Poly:
+    return Poly.sym("n")
+
+
+def b() -> Poly:
+    return Poly.sym("b")
+
+
+class TestPoly:
+    def test_identical_monomials_cancel_exactly(self):
+        """(c0 + b) - c0 -> b: slice widths must collapse symbolically."""
+        width = (Poly.sym("c0") + b()) - Poly.sym("c0")
+        assert width.terms == b().terms
+
+    def test_full_cancellation_gives_empty_poly(self):
+        assert (n() - n()).terms == {}
+        assert math.isinf(Poly({}).degree(THETA))
+
+    def test_zero_exponents_are_normalized_away(self):
+        """p^0 from delta-dependent exponents must merge with constants."""
+        assert Poly({(("p", 0.0),): 2.0}).terms == {(): 2.0}
+        assert (Poly({(("p", 0.5),): 1.0}) * Poly({(("p", -0.5),): 3.0})).terms == {
+            (): 3.0
+        }
+
+    def test_mul_adds_degrees(self):
+        assert (n() * n() * b()).degree(THETA) == pytest.approx(2.5)
+
+    def test_degree_is_max_over_terms(self):
+        assert (n() * n() + b()).degree(THETA) == pytest.approx(2.0)
+
+    def test_single_term_division_is_exact(self):
+        q = (n() * n()).div(n(), THETA)
+        assert q.terms == n().terms
+
+    def test_multi_term_division_divides_by_smallest_denominator(self):
+        """An upper bound: n^2 / (n + 1) is treated as n^2 / 1."""
+        q = (n() * n()).div(n() + Poly.const(1.0), THETA)
+        assert q.degree(THETA) == pytest.approx(2.0)
+
+    def test_fractional_power_scales_exponents(self):
+        assert (n() * n()).powf(0.5).degree(THETA) == pytest.approx(1.0)
+
+    def test_leading_term_names_the_dominant_monomial(self):
+        poly = n() * n() * Poly.const(3.0) + b()
+        assert poly.leading_term(THETA) == "n^2"
+
+
+class TestHints:
+    def test_trips_and_count_hints_parse(self):
+        src = (
+            "for step in chase_steps(n, b, h):  # certify: trips(n / b)\n"
+            "    machine.charge_comm(x)  # certify: count(n / h)\n"
+        )
+        hints = parse_hints(src)
+        assert set(hints) == {1, 2}
+        assert hints[1][0] == "trips" and hints[2][0] == "count"
+
+    def test_plain_comments_are_not_hints(self):
+        assert parse_hints("x = 1  # certify later\ny = 2  # cost: free(r)\n") == {}
+
+
+def _stage_source(spec) -> str:
+    return (REPO_ROOT / "src" / spec.path_suffix).read_text()
+
+
+class TestShippedStagesCertify:
+    @pytest.mark.parametrize("spec", STAGE_SPECS, ids=lambda s: s.stage)
+    def test_stage_extracts_clean_against_its_lemma(self, spec):
+        """Every registered stage in src/ must certify with no findings —
+        extraction succeeds and leading degrees stay within the lemma."""
+        findings = certify_source(spec.stage, _stage_source(spec), spec.path_suffix)
+        assert findings == [], [f.format() for f in findings]
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError, match="unknown certification stage"):
+            certify_source("nonexistent", "def f():\n    pass\n", "x.py")
+
+    def test_missing_function_is_uncertifiable(self):
+        findings = certify_source("streaming_matmul", "def other():\n    pass\n", "x.py")
+        assert [f.rule for f in findings] == ["REPRO011"]
+
+    def test_stripped_hints_make_ca_sbr_uncertifiable(self):
+        """REPRO011 path: without the '# certify:' hints the chase loop's
+        trip count is uninferable, and that must be a finding, not a pass."""
+        spec = next(s for s in STAGE_SPECS if s.stage == "ca_sbr_halve")
+        stripped = re.sub(r"#\s*certify:[^\n]*", "", _stage_source(spec))
+        findings = certify_source(spec.stage, stripped, spec.path_suffix)
+        assert findings and all(f.rule == "REPRO011" for f in findings)
+        assert "not extractable" in findings[0].message
+
+
+class TestAsymptoticRegression:
+    def test_unaggregated_full_to_band_fails_on_words(self):
+        """The acceptance fixture: eager per-panel trailing updates move
+        Theta(n^3 / (b p^delta)) words where the lemma allows n^2/p^delta.
+        The flop count is unchanged, so only W may fire."""
+        source = (CASES / "viol_f2b_unaggregated.py").read_text()
+        findings = certify_source(
+            "full_to_band_2p5d", source, "viol_f2b_unaggregated.py"
+        )
+        assert [f.rule for f in findings] == ["REPRO010"]
+        msg = findings[0].message
+        assert "W ~" in msg and "exceeds lemma 'full_to_band'" in msg
+        assert "F ~" not in msg
+
+    def test_shipped_full_to_band_is_not_flagged(self):
+        """Control: the aggregated (correct) implementation passes the very
+        check that rejects the eager variant."""
+        spec = next(s for s in STAGE_SPECS if s.stage == "full_to_band_2p5d")
+        assert certify_source(spec.stage, _stage_source(spec), spec.path_suffix) == []
+
+
+# ------------------------------------------------------------------ #
+# lemma registry <-> numeric closed forms
+
+# stage -> (numeric cost at a symbol assignment, ordered symbols it uses)
+_NUMERIC = {
+    "streaming_mm": lambda v, d: costs.streaming_mm_cost(
+        v["m"], v["n"], v["k"], v["p"], d
+    ),
+    "carma": lambda v, d: costs.carma_cost(v["m"], v["n"], v["k"], v["p"]),
+    "rect_qr": lambda v, d: costs.rect_qr_cost(v["m"], v["n"], v["p"], d),
+    "square_qr": lambda v, d: costs.square_qr_cost(v["n"], v["p"], d),
+    "full_to_band": lambda v, d: costs.full_to_band_cost(v["n"], v["p"], d, v["b"]),
+    "ca_sbr_halve": lambda v, d: costs.ca_sbr_halve_cost(v["n"], v["b"], v["p"]),
+    "band_to_band": lambda v, d: costs.band_to_band_cost(
+        v["n"], v["b"], v["k"], v["p"], d
+    ),
+    "eigensolver_2p5d": lambda v, d: costs.eigensolver_2p5d_cost(v["n"], v["p"], d),
+}
+
+_BASE_POINT = {"n": 4096.0, "m": 4096.0, "k": 1024.0, "b": 64.0, "p": 256.0}
+
+
+def _lemma_value(terms, values):
+    return sum(
+        math.prod(values[s] ** e for s, e in term.items()) for term in terms
+    )
+
+
+class TestLemmaRegistry:
+    def test_registry_covers_every_stage(self):
+        assert set(_NUMERIC) == set(LEMMA_STAGES)
+        for stage in LEMMA_STAGES:
+            table = lemma_leading_terms(stage, 0.5)
+            assert table["flops"] and table["words"]
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError, match="unknown lemma stage"):
+            lemma_leading_terms("fft", 0.5)
+
+    @pytest.mark.parametrize("stage", LEMMA_STAGES)
+    @pytest.mark.parametrize("delta", [0.5, 2.0 / 3.0])
+    def test_leading_terms_track_numeric_closed_forms(self, stage, delta):
+        """Scaling-drift check: numeric_cost / lemma_leading_terms must stay
+        within a constant factor when every parameter is scaled up — i.e.
+        the registry's exponents match the closed forms' growth rates."""
+        terms = lemma_leading_terms(stage, delta)
+        ratios = []
+        for scale in (1.0, 4.0):
+            values = {s: x * scale for s, x in _BASE_POINT.items()}
+            cost = _NUMERIC[stage](values, delta)
+            for metric, attr in (("flops", "F"), ("words", "W")):
+                predicted = _lemma_value(terms[metric], values)
+                ratios.append((metric, scale, getattr(cost, attr) / predicted))
+        by_metric: dict[str, list[float]] = {}
+        for metric, _, r in ratios:
+            by_metric.setdefault(metric, []).append(r)
+        for metric, (r1, r4) in by_metric.items():
+            drift = r4 / r1
+            assert 0.5 < drift < 2.0, (
+                f"{stage}/{metric}: lemma exponents drift from the closed "
+                f"form (ratio went {r1:.3g} -> {r4:.3g} under 4x scaling)"
+            )
