@@ -31,6 +31,8 @@ Package map:
 ``repro.model``  closed-form cost bounds, Table I, tuning
 ``repro.report`` ASCII tables and the paper's Figures 1–2
 ``repro.faults`` seeded fault injection, ABFT detection, recovery
+``repro.serve``  batched eigensolver service: workload traces, machine
+                 pool, bin-packing scheduler, persistent δ-tuning cache
 ==============  =====================================================
 """
 
@@ -48,6 +50,7 @@ from repro.eig import (
 )
 from repro.faults import FaultPlan, FaultyMachine
 from repro.model import eigensolver_2p5d_cost, render_table1
+from repro.serve import EigenService, MachinePool, TuningCache
 
 __version__ = "1.0.0"
 
@@ -71,5 +74,8 @@ __all__ = [
     "render_table1",
     "FaultyMachine",
     "FaultPlan",
+    "EigenService",
+    "MachinePool",
+    "TuningCache",
     "__version__",
 ]

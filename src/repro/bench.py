@@ -407,4 +407,12 @@ def load_baseline(path: Path) -> dict[str, Any]:
         raise FileNotFoundError(
             f"no benchmark baseline at {path}; create one with `repro bench --out {path}`"
         )
-    return json.loads(path.read_text())
+    try:
+        return json.loads(path.read_text())
+    except OSError as exc:
+        raise BenchError(f"benchmark baseline {path} is unreadable: {exc}") from exc
+    except ValueError as exc:
+        raise BenchError(
+            f"benchmark baseline {path} is not valid JSON ({exc}); "
+            f"regenerate it with `repro bench --out {path}`"
+        ) from exc

@@ -62,6 +62,19 @@ class MachineParams:
         """Return a copy with a different memory size (for M sweeps)."""
         return replace(self, memory_words=memory_words)
 
+    def fingerprint(self) -> str:
+        """Stable text form of every cost parameter, for cache keys.
+
+        Uses ``repr`` of the floats so any change — however small — in any
+        parameter produces a different key (``repr`` round-trips doubles
+        exactly; ``inf`` is its own token).  Two params with equal
+        fingerprints are equal dataclasses.
+        """
+        return (
+            f"g={self.gamma!r};b={self.beta!r};nu={self.nu!r};"
+            f"a={self.alpha!r};M={self.memory_words!r};H={self.cache_words!r}"
+        )
+
     def time(self, flops: float, words: float, mem_traffic: float, supersteps: float) -> float:
         """Modeled BSP time T = γF + βW + νQ + αS."""
         return (

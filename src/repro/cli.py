@@ -21,6 +21,15 @@ metrics  run one instrumented eigensolve and export per-rank metrics:
 chaos    sweep seeded fault scenarios over the pinned eigensolve and
          assert the chaos invariant: every run recovers or fails with a
          typed, span-attributed error (see docs/robustness.md)
+serve-bench
+         run the pinned seeded workload through the batched eigensolver
+         service (machine pool + bin-packing scheduler + persistent
+         δ-autotuning cache): two passes (cold, then warm from the
+         persisted cache), byte-identity verification of every served
+         spectrum against single-shot solves, and a BENCH_serve.json
+         throughput/latency report; ``--check`` gates against a committed
+         baseline, ``--soak`` injects faults into the pool workers and
+         asserts graceful degradation (see docs/serving.md)
 table1   print the paper's Table I, symbolically and evaluated at (n, p)
 figure1  print the Figure 1 structure diagram (Algorithm IV.1)
 figure2  print the Figure 2 pipeline diagram (Algorithm IV.2)
@@ -98,6 +107,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
+    baseline = None
+    if args.check is not None:
+        try:
+            # load before the (slow) suite runs: a missing or unreadable
+            # baseline is a configuration error, not a bench failure —
+            # exit 2 with a one-line message naming the file
+            baseline = bench.load_baseline(args.check)
+        except (OSError, ValueError, bench.BenchError) as exc:
+            return _fail(str(exc))
+
     try:
         results = bench.run_suite(repeats=args.repeats)
     except bench.BenchError as exc:
@@ -106,13 +125,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(bench.render_results(results))
     out = bench.write_results(results, args.out)
     print(f"\nwrote {out}")
-    if args.check is None:
+    if baseline is None:
         return 0
-    try:
-        baseline = bench.load_baseline(args.check)
-    except FileNotFoundError as exc:
-        print(f"bench FAILED: {exc}", file=sys.stderr)
-        return 1
     try:
         final, failures = bench.check_with_retries(
             results, baseline, lambda: bench.run_suite(repeats=args.repeats)
@@ -200,9 +214,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.check is not None:
         try:
             baseline = load_metrics(args.check)
-        except FileNotFoundError as exc:
-            print(f"metrics FAILED: {exc}", file=sys.stderr)
-            return 1
+        except (OSError, ValueError) as exc:
+            # missing/unreadable baseline: configuration error -> exit 2,
+            # message names the expected file (no bare traceback)
+            return _fail(str(exc))
 
     def run() -> dict:
         a = random_symmetric(args.n, seed=args.seed)
@@ -266,6 +281,79 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"chaos invariant holds: {recovered} recovered, {typed} failed with "
         "typed span-attributed errors, 0 silently wrong"
     )
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+    from repro.serve import bench as serve_bench
+
+    if args.soak:
+        doc = serve_bench.run_soak(
+            jobs=args.soak_jobs,
+            scenario=args.faults,
+            fault_seed0=args.fault_seed0,
+            tol=args.tol,
+            workers=args.workers,
+        )
+        out = serve_bench.write_serve_results(doc, args.soak_out)
+        print(f"wrote {out}")
+        if doc["silent_wrong"]:
+            print(
+                f"serve soak FAILED: {len(doc['silent_wrong'])} job(s) returned "
+                "a silently wrong spectrum",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serve soak invariant holds: {doc['ok']}/{doc['jobs']} ok "
+            f"({doc['degraded']} degraded), {doc['typed_errors']} typed errors, "
+            "0 silently wrong"
+        )
+        return 0
+
+    baseline = None
+    if args.check is not None:
+        try:
+            # load before the (slow) suite so a missing baseline fails fast
+            baseline = serve_bench.load_serve_baseline(args.check)
+        except (OSError, ValueError, bench.BenchError) as exc:
+            # missing/unreadable baseline: exit 2, message names the file
+            return _fail(str(exc))
+
+    def run() -> dict:
+        return serve_bench.run_serve_suite(
+            cache_path=args.cache,
+            trace_path=args.trace_out,
+            workers=args.workers,
+        )
+
+    try:
+        doc = run()
+    except bench.BenchError as exc:
+        print(f"serve-bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(serve_bench.render_serve(doc))
+    out = serve_bench.write_serve_results(doc, args.out)
+    print(f"\nwrote {out}")
+    if baseline is None:
+        return 0
+    try:
+        final, failures = bench.check_with_retries(
+            doc, baseline, run, check=serve_bench.check_serve
+        )
+    except bench.BenchError as exc:
+        print(f"serve-bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    if final is not doc:
+        out = serve_bench.write_serve_results(final, args.out)
+        print(f"rewrote {out} with the re-timed results")
+    if failures:
+        print(f"\nserve-bench FAILED against baseline {args.check}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"baseline check passed against {args.check}")
     return 0
 
 
@@ -488,6 +576,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-scenario outcome report JSON (the CI artifact)",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="batched eigensolver service throughput bench (pinned workload)",
+    )
+    p_serve.add_argument(
+        "--out",
+        type=Path,
+        default=Path("benchmarks") / "results" / "BENCH_serve.json",
+        help="where to write the fresh results JSON",
+    )
+    p_serve.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="gate against a committed BENCH_serve.json: exact simulated "
+        "latency/cost/regime drift, warm-pass cache hit rate >= 80%%, "
+        "byte-identity of served spectra, and host-calibrated throughput",
+    )
+    p_serve.add_argument(
+        "--cache",
+        type=Path,
+        default=Path("benchmarks") / "results" / "serve_tuning_cache.json",
+        help="persistent tuning-cache path (removed first so the cold pass is cold)",
+    )
+    p_serve.add_argument(
+        "--trace-out",
+        type=Path,
+        default=Path("benchmarks") / "results" / "serve_trace.json",
+        help="where to write the generated workload trace (the CI artifact)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="multiprocessing pool workers for the solve phase (0 = inline)",
+    )
+    p_serve.add_argument(
+        "--soak",
+        action="store_true",
+        help="fault-injection soak instead of the throughput bench: pool "
+        "workers run under the named fault scenario; every job must recover, "
+        "degrade to a replicated solve, or fail typed — never silently wrong",
+    )
+    p_serve.add_argument(
+        "--soak-jobs", type=int, default=48, help="workload size of the soak run"
+    )
+    p_serve.add_argument(
+        "--soak-out",
+        type=Path,
+        default=Path("benchmarks") / "results" / "serve_soak.json",
+        help="soak report JSON (the nightly CI artifact)",
+    )
+    p_serve.add_argument(
+        "--faults",
+        default="chaos",
+        metavar="SCENARIO",
+        help="fault scenario injected into pool workers during --soak",
+    )
+    p_serve.add_argument(
+        "--fault-seed0", type=int, default=0, help="first per-job fault seed of the soak"
+    )
+    p_serve.add_argument(
+        "--tol", type=float, default=1e-6,
+        help="spectrum tolerance of the soak's silently-wrong verdict",
+    )
+    p_serve.set_defaults(fn=_cmd_serve_bench)
 
     p_t1 = sub.add_parser("table1", help="print Table I")
     p_t1.add_argument("--n", type=int, default=65536)

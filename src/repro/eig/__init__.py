@@ -30,4 +30,50 @@ __all__ = [
     "eigensolve_scalapack_like",
     "eigensolve_elpa_like",
     "eigensolve_ca_sbr",
+    "SOLVERS",
+    "solve_by_name",
 ]
+
+
+def _baseline_result(machine, evals) -> EigensolveResult:
+    """Wrap a baseline's bare spectrum in the driver's result type (the
+    Table I baselines are 2-D: c = 1, no stage descriptors)."""
+    return EigensolveResult(
+        eigenvalues=evals, cost=machine.cost(), delta=0.5,
+        replication=1, initial_bandwidth=0,
+    )
+
+
+def _solve_scalapack_like(machine, a, delta=0.5):
+    return _baseline_result(machine, eigensolve_scalapack_like(machine, a))
+
+
+def _solve_elpa_like(machine, a, delta=0.5):
+    return _baseline_result(machine, eigensolve_elpa_like(machine, a))
+
+
+def _solve_ca_sbr(machine, a, delta=0.5):
+    return _baseline_result(machine, eigensolve_ca_sbr(machine, a))
+
+
+#: uniform solver dispatch for the serving layer (repro.serve): every entry
+#: is ``f(machine, a, delta) -> EigensolveResult``.  ``eig2p5d`` is the
+#: paper's Algorithm IV.3 and the only δ-tunable entry; the Table I
+#: baselines ignore δ (they are 2-D algorithms).
+SOLVERS = {
+    "eig2p5d": lambda machine, a, delta=0.5: eigensolve_2p5d(machine, a, delta=delta),
+    "scalapack_like": _solve_scalapack_like,
+    "elpa_like": _solve_elpa_like,
+    "ca_sbr": _solve_ca_sbr,
+}
+
+
+def solve_by_name(name: str, machine, a, delta: float = 0.5) -> EigensolveResult:
+    """Run the named solver (see :data:`SOLVERS`) on ``machine``."""
+    try:
+        solver = SOLVERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; expected one of {sorted(SOLVERS)}"
+        ) from None
+    return solver(machine, a, delta)

@@ -22,6 +22,8 @@ baseline with a multiplicative envelope.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.bsp.counters import CostReport
@@ -110,3 +112,35 @@ def attainment_ratios(
             }
         )
     return out
+
+
+def attainment_rollup(per_job: Iterable[list[dict]]) -> dict:
+    """Aggregate per-job attainment entries across a batch of solves.
+
+    ``per_job`` yields one :func:`attainment_ratios` list per job (the
+    serving layer's per-job roll-up input).  Returns, per stage kind and
+    cost component, the mean and max ratio plus the entry count — the
+    batch-level view of "are we still attaining the bounds under traffic".
+    Deterministic: accumulation follows the given job order, so equal
+    inputs give bit-equal output (the serve bench gates on that).
+    """
+    acc: dict[str, dict[str, list[float]]] = {}
+    for entries in per_job:
+        for entry in entries:
+            kind = str(entry.get("kind"))
+            by_comp = acc.setdefault(kind, {})
+            for comp in ATTAINMENT_COMPONENTS:
+                ratio = entry.get("ratio", {}).get(comp)
+                if ratio is None:
+                    continue
+                slot = by_comp.setdefault(comp, [0.0, 0.0, 0.0])  # sum, count, max
+                slot[0] += float(ratio)
+                slot[1] += 1.0
+                slot[2] = max(slot[2], float(ratio))
+    return {
+        kind: {
+            comp: {"mean": s / c, "max": mx, "count": int(c)}
+            for comp, (s, c, mx) in sorted(by_comp.items())
+        }
+        for kind, by_comp in sorted(acc.items())
+    }

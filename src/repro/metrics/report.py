@@ -117,8 +117,24 @@ def write_metrics(doc: dict[str, Any], path: Path | str) -> Path:
 
 
 def load_metrics(path: Path | str) -> dict[str, Any]:
-    """Load a previously written document."""
-    return json.loads(Path(path).read_text())
+    """Load a previously written document.
+
+    Raises ``FileNotFoundError`` / ``ValueError`` with messages naming the
+    expected file — the CLI routes both through its exit-2 diagnostic path
+    instead of a bare traceback.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no metrics baseline at {path}; create one with `repro metrics --out {path}`"
+        )
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"metrics baseline {path} is not valid JSON ({exc}); "
+            f"regenerate it with `repro metrics --out {path}`"
+        ) from exc
 
 
 def check_metrics(

@@ -99,3 +99,30 @@ def tuning_table(n: int, p: int, params: MachineParams, samples: int = 9) -> lis
 def bandwidth_bound_speedup(p: int, delta: float = 2.0 / 3.0) -> float:
     """Ideal W speedup of the 2.5D solver over 2-D baselines: √c = p^{δ−1/2}."""
     return math.sqrt(delta_to_c(p, delta))
+
+
+def tuning_signature(samples: int = 33) -> dict:
+    """Everything a memoized :func:`best_delta` result depends on besides
+    its ``(n, p, params)`` key.
+
+    The persistent δ-autotuning cache (:mod:`repro.serve.cache`)
+    fingerprints this document: if the δ grid, its sample count, or the
+    lemma registry backing the cost expressions changes between versions
+    of this repo, every cached plan is stale and must be recomputed.  The
+    lemma leading terms are included at both δ endpoints so a change in
+    any stage's cost exponents shows up even when the closed-form
+    constants stay put.
+    """
+    from repro.model.costs import LEMMA_STAGES, lemma_leading_terms
+
+    grid = delta_grid(samples)
+    return {
+        "delta_grid": {"samples": samples, "lo": grid[0], "hi": grid[-1]},
+        "lemmas": {
+            stage: {
+                "lo": lemma_leading_terms(stage, grid[0]),
+                "hi": lemma_leading_terms(stage, grid[-1]),
+            }
+            for stage in LEMMA_STAGES
+        },
+    }

@@ -1,0 +1,64 @@
+"""The pool of simulated BSP machines jobs are dispatched onto.
+
+A :class:`MachinePool` is a fixed fleet of identical (or heterogeneous)
+simulated machines.  Each pool machine owns ``p`` ranks; the scheduler may
+*share* a machine between several small jobs (each job's planned sub-grid
+claims disjoint ranks) or *dedicate* it to one grid-sized job.  Pool
+machines are descriptors, not live :class:`~repro.bsp.machine.BSPMachine`
+instances — the service constructs a fresh accounting machine per job (of
+the job's planned rank count), which is what keeps per-job eigenvalues and
+cost reports byte-identical to single-shot runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bsp.params import MachineParams
+
+
+@dataclass(frozen=True)
+class PoolMachine:
+    """One simulated machine in the pool: ``p`` ranks with cost ``params``."""
+
+    machine_id: int
+    p: int
+    params: MachineParams
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"machine_id": self.machine_id, "p": self.p}
+
+
+class MachinePool:
+    """A fleet of simulated machines with a shared parameter profile."""
+
+    def __init__(self, machines: int, p: int, params: MachineParams | None = None):
+        if machines < 1:
+            raise ValueError(f"pool needs >= 1 machine, got {machines}")
+        if p < 1:
+            raise ValueError(f"pool machines need >= 1 rank, got {p}")
+        self.params = params or MachineParams()
+        self.machines = [PoolMachine(i, p, self.params) for i in range(machines)]
+
+    @property
+    def total_ranks(self) -> int:
+        return sum(m.p for m in self.machines)
+
+    @property
+    def max_ranks(self) -> int:
+        """Ranks of the largest machine — the planner's p_max ceiling."""
+        return max(m.p for m in self.machines)
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __iter__(self):
+        return iter(self.machines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "machines": len(self.machines),
+            "p": self.max_ranks,
+            "total_ranks": self.total_ranks,
+        }

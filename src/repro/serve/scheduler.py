@@ -1,0 +1,184 @@
+"""Simulated-time bin-packing of planned jobs onto the machine pool.
+
+The scheduler answers "when does each job run, and where" in *simulated
+BSP time*: a job's service time is the modeled T = γF + βW + νQ + αS of
+its measured cost report, and arrivals come from the workload trace.  The
+event loop is exact and deterministic — no sampling, no wall clock.
+
+Policy (FIFO with backfill, best-fit placement):
+
+* queued jobs are scanned in arrival order; the first job whose planned
+  rank count fits some machine's free ranks starts immediately — small
+  jobs therefore *backfill* around a head-of-line grid-sized job instead
+  of idling the pool;
+* placement is best-fit: the machine with the fewest free ranks that
+  still fit is chosen (ties toward the lowest machine id), which packs
+  small jobs together and keeps whole machines free for jobs that need a
+  dedicated grid;
+* a job whose plan wants every rank of a machine gets the machine to
+  itself — the "dedicated grid" case is just best-fit at p = machine.p.
+
+Starvation cannot persist: a job that fits an *empty* machine is started
+no later than the first instant one of them drains, and every queue scan
+considers the oldest job first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.serve.pool import MachinePool
+
+
+@dataclass
+class ScheduledJob:
+    """Placement decision for one job, all times simulated."""
+
+    job_id: int
+    machine_id: int
+    p: int
+    arrival: float
+    start: float
+    finish: float
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion time (queue wait + service)."""
+        return self.finish - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.arrival
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "machine_id": self.machine_id,
+            "p": self.p,
+            "arrival": self.arrival,
+            "start": self.start,
+            "finish": self.finish,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+        }
+
+
+@dataclass
+class Schedule:
+    """The full placement of a workload onto a pool."""
+
+    jobs: list[ScheduledJob]
+    makespan: float       # last finish − first arrival
+    utilization: float    # busy rank-time / (total ranks × makespan)
+    busy_rank_time: float
+
+    def latencies(self) -> list[float]:
+        return [j.latency for j in self.jobs]
+
+    def percentile(self, q: float) -> float:
+        """Exact latency percentile (nearest-rank on the sorted list)."""
+        lats = sorted(self.latencies())
+        if not lats:
+            return 0.0
+        idx = min(len(lats) - 1, max(0, math.ceil(q / 100.0 * len(lats)) - 1))
+        return lats[idx]
+
+    def summary(self) -> dict[str, Any]:
+        lats = self.latencies()
+        return {
+            "jobs": len(self.jobs),
+            "makespan": self.makespan,
+            "utilization": self.utilization,
+            "latency_p50": self.percentile(50.0),
+            "latency_p99": self.percentile(99.0),
+            "latency_mean": sum(lats) / len(lats) if lats else 0.0,
+            "latency_max": max(lats) if lats else 0.0,
+        }
+
+
+def schedule_jobs(
+    requests: Sequence[tuple[int, float, int, float]], pool: MachinePool
+) -> Schedule:
+    """Place ``(job_id, arrival, p, service_time)`` requests onto ``pool``.
+
+    Raises ``ValueError`` if any request wants more ranks than the largest
+    machine offers (the planner caps p at ``pool.max_ranks``, so this
+    indicates a planner/pool mismatch, not load).
+    """
+    for job_id, _, p, _ in requests:
+        if p > pool.max_ranks:
+            raise ValueError(
+                f"job {job_id} wants {p} ranks but the largest pool machine "
+                f"has {pool.max_ranks}"
+            )
+        if p < 1:
+            raise ValueError(f"job {job_id} wants {p} ranks")
+
+    pending = sorted(requests, key=lambda r: (r[1], r[0]))  # arrival, then id
+    free = {m.machine_id: m.p for m in pool}
+    #: running jobs as (finish, machine_id, p, job_id), kept sorted by finish
+    running: list[tuple[float, int, int, int]] = []
+    placed: list[ScheduledJob] = []
+    queue: list[tuple[int, float, int, float]] = []
+    i = 0  # next arrival index
+    now = pending[0][1] if pending else 0.0
+
+    def try_dispatch() -> None:
+        """Start every queued job that fits, FIFO scan with backfill."""
+        nonlocal queue
+        remaining: list[tuple[int, float, int, float]] = []
+        for job_id, arrival, p, service in queue:
+            # best-fit: fewest free ranks that still fit, lowest id on ties
+            best_m: int | None = None
+            for m in pool:
+                f = free[m.machine_id]
+                if f >= p and (best_m is None or f < free[best_m]):
+                    best_m = m.machine_id
+            if best_m is None:
+                remaining.append((job_id, arrival, p, service))
+                continue
+            free[best_m] -= p
+            finish = now + service
+            running.append((finish, best_m, p, job_id))
+            running.sort()
+            placed.append(
+                ScheduledJob(
+                    job_id=job_id,
+                    machine_id=best_m,
+                    p=p,
+                    arrival=arrival,
+                    start=now,
+                    finish=finish,
+                )
+            )
+        queue = remaining
+
+    while i < len(pending) or queue or running:
+        # advance the clock to the next event: an arrival or a completion
+        next_arrival = pending[i][1] if i < len(pending) else math.inf
+        next_finish = running[0][0] if running else math.inf
+        now = min(next_arrival, next_finish)
+        if math.isinf(now):
+            break  # queue non-empty but nothing running/arriving: impossible
+        while running and running[0][0] <= now:
+            _, m_id, p, _ = running.pop(0)
+            free[m_id] += p
+        while i < len(pending) and pending[i][1] <= now:
+            queue.append(pending[i])
+            i += 1
+        try_dispatch()
+
+    placed.sort(key=lambda j: j.job_id)
+    if placed:
+        t0 = min(j.arrival for j in placed)
+        t1 = max(j.finish for j in placed)
+        makespan = t1 - t0
+    else:
+        makespan = 0.0
+    busy = sum(j.p * (j.finish - j.start) for j in placed)
+    util = busy / (pool.total_ranks * makespan) if makespan > 0 else 0.0
+    return Schedule(
+        jobs=placed, makespan=makespan, utilization=util, busy_rank_time=busy
+    )

@@ -1,0 +1,370 @@
+"""The batched eigensolver service: queue → plan → solve → schedule.
+
+:class:`EigenService` is the serving pipeline the tentpole describes:
+
+1. **Plan** — each request's ``(n, p_max, params)`` shape is routed through
+   the persistent δ-autotuning cache (:mod:`repro.serve.cache`) and the
+   regime planner (:mod:`repro.serve.planner`): how many ranks, which δ,
+   replicated or grid.  Repeat shapes skip re-planning entirely.
+2. **Solve** — every job runs the planned solver on a **fresh**
+   :class:`~repro.bsp.machine.BSPMachine` of exactly its planned rank
+   count, so its eigenvalues and cost report are byte-identical to a
+   single-shot run of the same ``(matrix, p, δ)``.  Batches can be
+   dispatched to a multiprocessing worker pool (``workers > 0``) — the
+   per-job results are order-independent and reassembled by job id.
+3. **Schedule** — the measured cost reports give each job its simulated
+   service time T = γF + βW + νQ + αS; the bin-packing scheduler
+   (:mod:`repro.serve.scheduler`) replays the workload's arrival trace
+   against the machine pool and yields per-job simulated latency and pool
+   utilization.
+
+Fault handling: with a fault scenario installed, every pool worker's
+machine injects seeded faults.  The solver's internal recovery (checkpoint
+/ retry / grid-shrink) absorbs most; a job whose typed
+:class:`~repro.faults.errors.FaultError` still escapes is **degraded, not
+dropped** — the service re-runs it as a replicated (single-rank) solve on
+a healthy machine, re-planning δ through the cache's ``replan`` path.
+Only a job that fails even the degraded retry surfaces as an error result;
+no code path returns a spectrum that was not guarded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.bsp.machine import BSPMachine
+from repro.bsp.params import MachineParams
+from repro.eig import solve_by_name
+from repro.metrics.attainment import attainment_ratios
+from repro.serve.cache import TuningCache, cached_replan_delta
+from repro.serve.planner import DEFAULT_ALGORITHM, Plan, plan_job
+from repro.serve.pool import MachinePool
+from repro.serve.scheduler import Schedule, schedule_jobs
+from repro.serve.workload import JobSpec, Workload
+from repro.util.matrices import random_symmetric
+
+
+@dataclass
+class JobResult:
+    """Everything the service knows about one completed (or failed) job."""
+
+    job_id: int
+    n: int
+    seed: int
+    plan: Plan
+    status: str                    # "ok" | "error"
+    eigenvalues: np.ndarray | None
+    service_time: float            # simulated T of the measured run
+    sim_cost: dict[str, float]
+    planned_from_cache: bool
+    retries: int = 0
+    degraded: bool = False         # fell back to the replicated solve
+    error: str = ""
+    error_type: str = ""
+    attainment: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one workload pass through the service."""
+
+    results: list[JobResult]
+    schedule: Schedule
+    wall_s: float
+    plan_hits: int
+    cache_stats: dict[str, Any]
+    pool: dict[str, Any]
+
+    @property
+    def jobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok_jobs(self) -> int:
+        return sum(r.ok for r in self.results)
+
+    @property
+    def error_jobs(self) -> int:
+        return self.jobs - self.ok_jobs
+
+    @property
+    def jobs_per_s(self) -> float:
+        return self.jobs / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def plan_hit_rate(self) -> float:
+        return self.plan_hits / self.jobs if self.jobs else 0.0
+
+    def regimes(self) -> dict[str, int]:
+        """Histogram "p=<ranks>" -> job count of the planner's routing."""
+        out: dict[str, int] = {}
+        for r in self.results:
+            key = f"p={r.plan.p}"
+            out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items(), key=lambda kv: int(kv[0][2:])))
+
+    def sim_totals(self) -> dict[str, float]:
+        """Exact simulated cost summed over jobs (deterministic gate food)."""
+        totals = {"flops": 0.0, "words": 0.0, "mem_traffic": 0.0, "supersteps": 0.0}
+        for r in self.results:
+            for k in totals:
+                totals[k] += r.sim_cost.get(k, 0.0)
+        totals["service_time"] = sum(r.service_time for r in self.results)
+        return totals
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "ok": self.ok_jobs,
+            "errors": self.error_jobs,
+            "degraded": sum(r.degraded for r in self.results),
+            "retries": sum(r.retries for r in self.results),
+            "wall_s": self.wall_s,
+            "jobs_per_s": self.jobs_per_s,
+            "plan_hits": self.plan_hits,
+            "plan_hit_rate": self.plan_hit_rate,
+            "regimes": self.regimes(),
+            "sim": self.schedule.summary(),
+            "sim_totals": self.sim_totals(),
+            "cache": self.cache_stats,
+            "pool": self.pool,
+        }
+
+
+# ------------------------------------------------------------------ #
+# job execution (top-level so a multiprocessing pool can pickle it)
+
+
+def _params_payload(params: MachineParams) -> dict[str, float]:
+    return {
+        "gamma": params.gamma, "beta": params.beta, "nu": params.nu,
+        "alpha": params.alpha, "memory_words": params.memory_words,
+        "cache_words": params.cache_words,
+    }
+
+
+def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Solve one planned job; pure function of the payload (worker-safe).
+
+    Returns a plain dict (arrays and floats only) so results cross a
+    process boundary cheaply.  A typed fault error is *returned*, not
+    raised — the parent decides the degradation policy.
+    """
+    from repro.faults.errors import FaultError
+
+    params = MachineParams(**payload["params"])
+    n, seed = payload["n"], payload["seed"]
+    p, delta = payload["p"], payload["delta"]
+    algorithm = payload["algorithm"]
+    a = random_symmetric(n, seed=seed)
+    if payload.get("faults"):
+        from repro.faults import FaultPlan, FaultyMachine
+        from repro.faults.plan import SCENARIOS
+
+        machine: BSPMachine = FaultyMachine(
+            p, params,
+            plan=FaultPlan(SCENARIOS[payload["faults"]], payload["fault_seed"]),
+            spans=True,
+        )
+    else:
+        machine = BSPMachine(p, params)
+    try:
+        result = solve_by_name(algorithm, machine, a, delta)
+    except FaultError as exc:
+        return {
+            "job_id": payload["job_id"],
+            "status": "error",
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        }
+    cost = result.cost
+    return {
+        "job_id": payload["job_id"],
+        "status": "ok",
+        "eigenvalues": result.eigenvalues,
+        "sim_cost": {
+            "flops": cost.flops,
+            "words": cost.words,
+            "mem_traffic": cost.mem_traffic,
+            "supersteps": float(cost.supersteps),
+            "peak_memory_words": cost.peak_memory_words,
+        },
+        "service_time": params.time(
+            cost.flops, cost.words, cost.mem_traffic, cost.supersteps
+        ),
+        "attainment": attainment_ratios(result.stages, result.stage_meta),
+    }
+
+
+class EigenService:
+    """Batched eigensolver front-end over a pool of simulated machines."""
+
+    def __init__(
+        self,
+        pool: MachinePool,
+        cache: TuningCache | None = None,
+        algorithm: str = DEFAULT_ALGORITHM,
+        workers: int = 0,
+        faults: str | None = None,
+        fault_seed0: int = 0,
+    ):
+        self.pool = pool
+        self.cache = cache if cache is not None else TuningCache()
+        self.algorithm = algorithm
+        self.workers = workers
+        self.faults = faults or None
+        self.fault_seed0 = fault_seed0
+
+    # -------------------------------------------------------------- #
+
+    def plan(self, n: int) -> tuple[Plan, bool]:
+        """Plan one problem size against the pool's largest machine."""
+        return plan_job(
+            self.cache, n, self.pool.max_ranks, self.pool.params, self.algorithm
+        )
+
+    def _payload(self, spec: JobSpec, plan: Plan) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "job_id": spec.job_id,
+            "n": spec.n,
+            "seed": spec.seed,
+            "p": plan.p,
+            "delta": plan.delta,
+            "algorithm": plan.algorithm,
+            "params": _params_payload(self.pool.params),
+        }
+        if self.faults:
+            payload["faults"] = self.faults
+            payload["fault_seed"] = self.fault_seed0 + spec.job_id
+        return payload
+
+    def _degrade(self, spec: JobSpec, raw: dict[str, Any]) -> tuple[dict[str, Any], Plan, bool]:
+        """Replicated-solve fallback for a job whose fault escaped recovery."""
+        delta = cached_replan_delta(self.cache, spec.n, 1, self.pool.params, self.algorithm)
+        fallback = Plan(
+            n=spec.n, p=1, delta=delta,
+            predicted_time=float("inf"), algorithm=self.algorithm,
+        )
+        payload = self._payload(spec, fallback)
+        payload.pop("faults", None)  # degraded retry runs on a healthy machine
+        payload.pop("fault_seed", None)
+        return execute_payload(payload), fallback, True
+
+    def run_workload(self, workload: Workload) -> ServeReport:
+        """Serve every job of a workload; returns the aggregate report."""
+        t0 = time.perf_counter()
+        plans: dict[int, tuple[Plan, bool]] = {}
+        payloads: list[dict[str, Any]] = []
+        for spec in workload.jobs:
+            plan, hit = self.plan(spec.n)
+            plans[spec.job_id] = (plan, hit)
+            payloads.append(self._payload(spec, plan))
+
+        if self.workers > 0:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                raws = list(pool.map(execute_payload, payloads))
+        else:
+            raws = [execute_payload(p) for p in payloads]
+
+        by_id = {raw["job_id"]: raw for raw in raws}
+        results: list[JobResult] = []
+        for spec in workload.jobs:
+            raw = by_id[spec.job_id]
+            plan, hit = plans[spec.job_id]
+            retries, degraded = 0, False
+            if raw["status"] != "ok" and self.faults:
+                raw, plan, degraded = self._degrade(spec, raw)
+                retries = 1
+            if raw["status"] == "ok":
+                results.append(
+                    JobResult(
+                        job_id=spec.job_id, n=spec.n, seed=spec.seed, plan=plan,
+                        status="ok",
+                        eigenvalues=raw["eigenvalues"],
+                        service_time=raw["service_time"],
+                        sim_cost=raw["sim_cost"],
+                        planned_from_cache=hit,
+                        retries=retries, degraded=degraded,
+                        attainment=raw["attainment"],
+                    )
+                )
+            else:
+                results.append(
+                    JobResult(
+                        job_id=spec.job_id, n=spec.n, seed=spec.seed, plan=plan,
+                        status="error",
+                        eigenvalues=None, service_time=0.0, sim_cost={},
+                        planned_from_cache=hit,
+                        retries=retries, degraded=degraded,
+                        error=raw.get("error", ""),
+                        error_type=raw.get("error_type", ""),
+                    )
+                )
+        wall = time.perf_counter() - t0
+
+        arrivals = {spec.job_id: spec.arrival for spec in workload.jobs}
+        requests = [
+            (r.job_id, arrivals[r.job_id], r.plan.p, r.service_time)
+            for r in results
+            if r.ok
+        ]
+        schedule = schedule_jobs(requests, self.pool)
+        self.cache.save()
+        return ServeReport(
+            results=sorted(results, key=lambda r: r.job_id),
+            schedule=schedule,
+            wall_s=wall,
+            plan_hits=sum(hit for _, hit in plans.values()),
+            cache_stats=self.cache.stats.as_dict(),
+            pool=self.pool.as_dict(),
+        )
+
+
+def single_shot_eigenvalues(
+    n: int, seed: int, p: int, delta: float, params: MachineParams,
+    algorithm: str = DEFAULT_ALGORITHM,
+) -> np.ndarray:
+    """The reference a served job must match byte-for-byte: one fresh
+    machine, one solve — exactly what a user calling ``eigensolve`` gets."""
+    a = random_symmetric(n, seed=seed)
+    machine = BSPMachine(p, params)
+    return solve_by_name(algorithm, machine, a, delta).eigenvalues
+
+
+def verify_against_single_shot(
+    results: Sequence[JobResult], params: MachineParams
+) -> list[str]:
+    """Byte-identity check of every ok job versus a single-shot solve.
+
+    Returns human-readable mismatch descriptions ([] = all identical).
+    Degraded jobs are verified against their *fallback* plan — that is the
+    solve that actually produced their spectrum.
+    """
+    problems: list[str] = []
+    for r in results:
+        if not r.ok:
+            continue
+        ref = single_shot_eigenvalues(
+            r.n, r.seed, r.plan.p, r.plan.delta, params, r.plan.algorithm
+        )
+        assert r.eigenvalues is not None
+        if not (
+            r.eigenvalues.shape == ref.shape
+            and r.eigenvalues.dtype == ref.dtype
+            and np.array_equal(r.eigenvalues, ref)
+        ):
+            problems.append(
+                f"job {r.job_id} (n={r.n}, p={r.plan.p}, delta={r.plan.delta:.3f}): "
+                "served eigenvalues differ from the single-shot solve"
+            )
+    return problems

@@ -249,16 +249,15 @@ class TestCLI:
         )
         assert "simulated-cost drift" in capsys.readouterr().err
 
-    def test_bench_check_missing_baseline(self, tmp_path, capsys, monkeypatch):
-        small = {
-            "charging": {"p": 32, "iters": 3},
-            "eig": {"n": 24, "p": 4, "delta": 2.0 / 3.0, "seed": 3},
-        }
-        monkeypatch.setattr(bench, "PINNED", small)
+    def test_bench_check_missing_baseline(self, tmp_path, capsys):
+        # a missing baseline is a configuration error: exit 2 naming the
+        # expected file, *before* the suite spends time running
         out = tmp_path / "fresh.json"
         missing = tmp_path / "gone.json"
         assert (
             cli.main(["bench", "--repeats", "1", "--out", str(out), "--check", str(missing)])
-            == 1
+            == 2
         )
-        assert "no benchmark baseline" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "no benchmark baseline" in err and "gone.json" in err
+        assert not out.exists()  # failed fast: the suite never ran

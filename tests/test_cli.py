@@ -127,11 +127,13 @@ class TestMetrics:
         assert "baseline check passed" in capsys.readouterr().out
 
     def test_metrics_check_missing_baseline(self, tmp_path, capsys):
+        # configuration error, not a metrics failure: exit 2 naming the file
         rc = main(["metrics", "--n", "48", "--p", "8",
                    "--out", str(tmp_path / "m.json"),
                    "--check", str(tmp_path / "nope.json")])
-        assert rc == 1
-        assert "metrics FAILED" in capsys.readouterr().err
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no metrics baseline" in err and "nope.json" in err
 
     def test_metrics_check_flags_config_drift(self, tmp_path, capsys):
         base = tmp_path / "base.json"
