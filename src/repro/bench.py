@@ -11,7 +11,14 @@ experiment can reach.
   group charges, batched charges, collectives, streaming traffic and
   memory notes on a p=512 machine (no numerics — pure accounting);
 * ``eig_n96_p16`` — one full-pipeline :func:`repro.eig.eigensolve_2p5d`
-  run at pinned (n, p, δ, seed).
+  run at pinned (n, p, δ, seed);
+* ``eig_n512_p256`` — the same full pipeline at large pinned (n, p): the
+  instance class the batched chase engine exists for, so its wall gate is
+  the regression tripwire for every per-step Python loop on the hot path;
+* ``scaling_exponents`` — a small pinned (n, p, δ) grid of band-to-band
+  runs with the paper's band-width scaling b ≈ n/p^δ; the measured W and S
+  are log-log–regressed against Lemma IV.3's closed forms and the fitted
+  exponents gated (see :func:`fit_loglog_slope`).
 
 Every case runs on the vectorized ``array`` engine (timed, median of
 ``--repeats``) and on the pre-vectorization ``scalar`` oracle; their
@@ -67,6 +74,21 @@ BASELINE_NAME = "BENCH_engine.json"
 PINNED: dict[str, dict[str, Any]] = {
     "charging": {"p": 512, "iters": 100},
     "eig": {"n": 96, "p": 16, "delta": 2.0 / 3.0, "seed": 3},
+    "eig_large": {"n": 512, "p": 256, "delta": 2.0 / 3.0, "seed": 3},
+    # Band-to-band runs with b ≈ n/p^δ (the paper's choice); lists, not
+    # tuples, so the pinned block round-trips through JSON unchanged.
+    "scaling": {
+        "k": 2,
+        "seed": 3,
+        "grid": [
+            [128, 16, 2.0 / 3.0],
+            [192, 16, 2.0 / 3.0],
+            [256, 32, 2.0 / 3.0],
+            [384, 32, 2.0 / 3.0],
+            [256, 64, 0.75],
+            [384, 64, 0.75],
+        ],
+    },
 }
 
 #: >25% wall regression fails --check (env-overridable for noisy hosts;
@@ -83,6 +105,18 @@ WALL_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "2"))
 
 #: minimum charging-suite speedup of array over scalar engine (p >= 256)
 SPEEDUP_FLOOR = 3.0
+
+#: two-sided tolerance on the fitted W exponent: Lemma IV.3's bandwidth
+#: bound is *attained* by the 2.5D schedule, so measured W must track the
+#: closed form with unit slope
+W_EXPONENT_TOL = 0.1
+
+#: one-sided slack on the fitted S exponent: the lemma's synchronization
+#: bound is an upper bound, and the simulator's per-rank superstep maxima
+#: do not count pipeline idling, so the measured exponent may sit *below*
+#: unity — it just must never exceed the bound's closed form by more than
+#: this slack
+S_EXPONENT_SLACK = 0.1
 
 #: absolute slack on the wall gate — sub-millisecond walls are dominated by
 #: timer granularity and scheduler noise, not engine performance
@@ -203,11 +237,11 @@ def run_charging(engine: str) -> tuple[CostReport, float]:
     return report, wall
 
 
-def run_eig(engine: str) -> tuple[CostReport, float]:
+def run_eig(engine: str, cfg_key: str = "eig") -> tuple[CostReport, float]:
     from repro.eig import eigensolve_2p5d
     from repro.util.matrices import random_symmetric
 
-    cfg = PINNED["eig"]
+    cfg = PINNED[cfg_key]
     a = random_symmetric(cfg["n"], seed=cfg["seed"])
     machine = BSPMachine(cfg["p"], engine=engine)
     t0 = time.perf_counter()
@@ -216,10 +250,141 @@ def run_eig(engine: str) -> tuple[CostReport, float]:
     return machine.cost(), wall
 
 
+def run_eig_large(engine: str) -> tuple[CostReport, float]:
+    return run_eig(engine, "eig_large")
+
+
 CASES: dict[str, Callable[[str], tuple[CostReport, float]]] = {
     "charging_p512": run_charging,
     "eig_n96_p16": run_eig,
+    "eig_n512_p256": run_eig_large,
 }
+
+#: pinned-config key backing each case; the pinned block is the source of
+#: truth — a case runs iff its inputs are pinned, so tests (and ad-hoc
+#: profiling) shrink the suite by monkeypatching ``PINNED``
+CASE_PINNED_KEY = {
+    "charging_p512": "charging",
+    "eig_n96_p16": "eig",
+    "eig_n512_p256": "eig_large",
+}
+
+
+# ------------------------------------------------------------------ #
+# the scaling-exponent suite (Lemma IV.3)
+
+
+def scaling_bandwidth(n: int, p: int, delta: float) -> int:
+    """The paper's band-width scaling b ≈ n/p^δ, rounded to an even b ≥ 4
+    (band-to-band needs k = 2 to divide b)."""
+    return max(4, 2 * round(n / p**delta / 2.0))
+
+
+def lemma_iv3_closed_forms(n: int, p: int, b: int, k: int, delta: float) -> tuple[float, float]:
+    """Lemma IV.3's closed-form bandwidth and synchronization bounds,
+    dropping constants: W = n^{1+δ}·b^{1−δ}/p^δ and
+    S = k^δ·n^{1−δ}·p^δ/b^{1−δ}·log₂p."""
+    w = float(n ** (1.0 + delta) * b ** (1.0 - delta) / p**delta)
+    s = float(k**delta * n ** (1.0 - delta) * p**delta / b ** (1.0 - delta) * np.log2(p))
+    return w, s
+
+
+def fit_loglog_slope(closed: list[float], measured: list[float]) -> float:
+    """Least-squares slope of log(measured) against log(closed form).
+
+    A slope of 1 means the measured cost scales exactly as the lemma's
+    closed form across the grid (constants cancel in the regression).
+    """
+    x = np.log(np.asarray(closed, dtype=np.float64))
+    y = np.log(np.asarray(measured, dtype=np.float64))
+    xc = x - x.mean()
+    return float(np.dot(xc, y - y.mean()) / np.dot(xc, xc))  # cost: free(host-side regression over O(grid) scalars, not simulated work)
+
+
+def run_scaling_point(engine: str, n: int, p: int, delta: float) -> tuple[CostReport, float]:
+    """One band-to-band reduction at (n, p, δ) with b = scaling_bandwidth."""
+    from repro.dist.banded import DistBandMatrix
+    from repro.eig.band_to_band import band_to_band_2p5d
+    from repro.util.matrices import random_banded_symmetric
+
+    cfg = PINNED["scaling"]
+    b = scaling_bandwidth(n, p, delta)
+    a = random_banded_symmetric(n, b, seed=cfg["seed"])
+    machine = BSPMachine(p, engine=engine)
+    t0 = time.perf_counter()
+    band = DistBandMatrix(machine, a, b, machine.world)
+    band_to_band_2p5d(machine, band, k=cfg["k"])
+    wall = time.perf_counter() - t0
+    return machine.cost(), wall
+
+
+def run_scaling_case(repeats: int) -> dict[str, Any]:
+    """Run the pinned scaling grid on both engines; fit and gate exponents.
+
+    Each grid point's vectorized report must be bit-identical to the scalar
+    oracle's; the fitted W exponent must be 1 ± ``W_EXPONENT_TOL`` and the
+    fitted S exponent at most 1 + ``S_EXPONENT_SLACK``.  The fitted slopes
+    and per-point measurements land in the entry's ``cost`` dict, so the
+    baseline check pins them by exact equality like every other cost.
+    """
+    cfg = PINNED["scaling"]
+    array_walls = [0.0] * repeats
+    scalar_walls = [0.0] * repeats
+    w_meas: list[float] = []
+    s_meas: list[int] = []
+    w_closed: list[float] = []
+    s_closed: list[float] = []
+    grid_doc: list[dict[str, Any]] = []
+    for n, p, delta in cfg["grid"]:
+        array_report = scalar_report = None
+        for r in range(repeats):
+            array_report, wall = run_scaling_point("array", n, p, delta)
+            array_walls[r] += wall
+            scalar_report, wall = run_scaling_point("scalar", n, p, delta)
+            scalar_walls[r] += wall
+        assert array_report is not None and scalar_report is not None
+        mismatches = report_mismatches(array_report, scalar_report)
+        if mismatches:
+            raise BenchError(
+                f"scaling_exponents (n={n}, p={p}, delta={delta:g}): vectorized "
+                "engine drifted from the scalar oracle:\n  " + "\n  ".join(mismatches)
+            )
+        b = scaling_bandwidth(n, p, delta)
+        wc, sc = lemma_iv3_closed_forms(n, p, b, cfg["k"], delta)
+        w_meas.append(float(array_report.words))
+        s_meas.append(int(array_report.supersteps))
+        w_closed.append(wc)
+        s_closed.append(sc)
+        grid_doc.append({"n": n, "p": p, "delta": delta, "b": b})
+    w_exp = fit_loglog_slope(w_closed, w_meas)
+    s_exp = fit_loglog_slope(s_closed, [float(s) for s in s_meas])
+    if abs(w_exp - 1.0) > W_EXPONENT_TOL:
+        raise BenchError(
+            f"scaling_exponents: fitted W exponent {w_exp:.4f} is outside "
+            f"1 +/- {W_EXPONENT_TOL} — measured bandwidth no longer scales as "
+            "Lemma IV.3's closed form"
+        )
+    if s_exp > 1.0 + S_EXPONENT_SLACK:
+        raise BenchError(
+            f"scaling_exponents: fitted S exponent {s_exp:.4f} exceeds "
+            f"1 + {S_EXPONENT_SLACK} — measured synchronization grows faster "
+            "than Lemma IV.3's bound"
+        )
+    wall = statistics.median(array_walls)
+    scalar_wall = statistics.median(scalar_walls)
+    return {
+        "wall_s": wall,
+        "wall_s_runs": array_walls,
+        "scalar_wall_s": scalar_wall,
+        "speedup_vs_scalar": scalar_wall / wall if wall > 0 else float("inf"),
+        "grid": grid_doc,
+        "cost": {
+            "W_exponent": w_exp,
+            "S_exponent": s_exp,
+            "W_measured": w_meas,
+            "S_measured": s_meas,
+        },
+    }
 
 
 # ------------------------------------------------------------------ #
@@ -239,6 +404,8 @@ def run_suite(repeats: int = 3, log: Callable[[str], None] = print) -> dict[str,
         raise ValueError("repeats must be >= 1")
     results: dict[str, Any] = {"version": 1, "pinned": PINNED, "cases": {}}
     for name, case in CASES.items():
+        if CASE_PINNED_KEY[name] not in PINNED:
+            continue
         array_walls: list[float] = []
         scalar_walls: list[float] = []
         array_report = scalar_report = None
@@ -271,6 +438,15 @@ def run_suite(repeats: int = 3, log: Callable[[str], None] = print) -> dict[str,
         log(
             f"{name}: wall={wall:.4f}s scalar={scalar_wall:.4f}s "
             f"speedup={entry['speedup_vs_scalar']:.1f}x  oracle=identical"
+        )
+    if "scaling" in PINNED:
+        entry = run_scaling_case(repeats)
+        results["cases"]["scaling_exponents"] = entry
+        log(
+            f"scaling_exponents: wall={entry['wall_s']:.4f}s "
+            f"scalar={entry['scalar_wall_s']:.4f}s "
+            f"W_exp={entry['cost']['W_exponent']:.4f} "
+            f"S_exp={entry['cost']['S_exponent']:.4f}  oracle=identical"
         )
     return results
 
@@ -383,10 +559,10 @@ def render_results(results: dict[str, Any]) -> str:
                 f"{entry['scalar_wall_s']:.4f}",
                 f"{entry['speedup_vs_scalar']:.1f}x",
                 f"{per_s:.3g}" if per_s is not None else "-",
-                f"{cost['flops']:.6g}",
-                f"{cost['words']:.6g}",
-                f"{cost['mem_traffic']:.6g}",
-                int(cost["supersteps"]),
+                f"{cost['flops']:.6g}" if "flops" in cost else f"Wexp={cost['W_exponent']:.3f}",
+                f"{cost['words']:.6g}" if "words" in cost else f"Sexp={cost['S_exponent']:.3f}",
+                f"{cost['mem_traffic']:.6g}" if "mem_traffic" in cost else "-",
+                int(cost["supersteps"]) if "supersteps" in cost else "-",
             ]
         )
     return format_table(

@@ -473,11 +473,18 @@ class CounterArray:
         else:
             np.add.at(self.flops, idx, amount)
 
-    def add_comm(self, send_idx=None, sent=None, recv_idx=None, recvd=None) -> None:
-        if send_idx is not None:
-            self.words_sent[send_idx] += sent
-        if recv_idx is not None:
-            self.words_recv[recv_idx] += recvd
+    def add_comm(self, send_idx=None, sent=None, recv_idx=None, recvd=None,
+                 unique: bool = True) -> None:
+        if unique:
+            if send_idx is not None:
+                self.words_sent[send_idx] += sent
+            if recv_idx is not None:
+                self.words_recv[recv_idx] += recvd
+        else:
+            if send_idx is not None:
+                np.add.at(self.words_sent, send_idx, sent)
+            if recv_idx is not None:
+                np.add.at(self.words_recv, recv_idx, recvd)
 
     def add_supersteps(self, idx, count: int, unique: bool = True) -> None:
         if unique:
@@ -491,27 +498,47 @@ class CounterArray:
         else:
             np.add.at(self.mem_traffic, idx, words)
 
-    def note_memory(self, idx, words_each: float) -> None:
+    def note_memory(self, idx, words_each, unique: bool = True) -> None:
         cur = self.current_memory_words
         if isinstance(idx, np.ndarray):
-            cur[idx] = np.maximum(cur[idx], words_each)
-            self.peak_memory_words[idx] = np.maximum(self.peak_memory_words[idx], cur[idx])
+            if unique:
+                cur[idx] = np.maximum(cur[idx], words_each)
+                self.peak_memory_words[idx] = np.maximum(self.peak_memory_words[idx], cur[idx])
+            else:
+                # duplicate indices: running max is order-insensitive, so
+                # element-wise maximum.at gives the loop-exact result
+                np.maximum.at(cur, idx, words_each)
+                np.maximum.at(self.peak_memory_words, idx, cur[idx])
         else:
             cur[idx] = max(cur[idx], words_each)
             self.peak_memory_words[idx] = max(self.peak_memory_words[idx], cur[idx])
 
-    def add_memory(self, idx, words_each: float) -> None:
+    def add_memory(self, idx, words_each, unique: bool = True) -> None:
         cur = self.current_memory_words
-        cur[idx] += words_each
+        if unique:
+            cur[idx] += words_each
+        else:
+            # duplicate indices with non-negative grants: the footprint only
+            # grows across the occurrences, so the final value is the running
+            # maximum and one end-of-batch peak update is loop-exact.  (The
+            # machine layer falls back to a loop for negative grants.)
+            np.add.at(cur, idx, words_each)
         if isinstance(idx, np.ndarray):
             self.peak_memory_words[idx] = np.maximum(self.peak_memory_words[idx], cur[idx])
         else:
             self.peak_memory_words[idx] = max(self.peak_memory_words[idx], cur[idx])
 
-    def release_memory(self, idx, words_each: float) -> None:
+    def release_memory(self, idx, words_each, unique: bool = True) -> None:
         cur = self.current_memory_words
         if isinstance(idx, np.ndarray):
-            cur[idx] = np.maximum(0.0, cur[idx] - words_each)
+            if unique:
+                cur[idx] = np.maximum(0.0, cur[idx] - words_each)
+            else:
+                # non-negative releases: once clamped to zero a slot stays
+                # clamped under further releases, so subtract-then-clamp at
+                # the end matches the per-occurrence loop exactly
+                np.subtract.at(cur, idx, words_each)
+                np.maximum.at(cur, idx, 0.0)
         else:
             cur[idx] = max(0.0, cur[idx] - words_each)
 

@@ -52,6 +52,24 @@ def qr_flops(m: int, n: int) -> float:
     return 2.0 * m * n * n - (2.0 / 3.0) * n**3
 
 
+def matmul_flops_arr(m: np.ndarray, n: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Element-wise :func:`matmul_flops` over float64 dimension arrays.
+
+    Bit-equal to the scalar form: the products are exact integers in
+    float64, so association order cannot change the result.
+    """
+    return 2.0 * m * n * k
+
+
+def qr_flops_arr(m: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """Element-wise :func:`qr_flops` over float64 dimension arrays.
+
+    Bit-equal to the scalar form for the same reason as
+    :func:`matmul_flops_arr` (both terms exact before the one subtraction).
+    """
+    return 2.0 * m * n * n - (2.0 / 3.0) * n**3
+
+
 def local_matmul(
     machine: BSPMachine,
     rank: int,

@@ -326,7 +326,8 @@ class BSPMachine:
         self.counters.add_supersteps(idx, count, unique=unique)
         if self.metrics.enabled:
             self.metrics.on_superstep(self.counters)
-        self.trace.record("superstep", ranks if not isinstance(ranks, RankGroup) else ranks.ranks)
+        if self.trace.enabled:
+            self.trace.record("superstep", ranks if not isinstance(ranks, RankGroup) else ranks.ranks)
 
     # ------------------------------------------------------------------ #
     # vertical (memory <-> cache) traffic
@@ -364,32 +365,44 @@ class BSPMachine:
     # ------------------------------------------------------------------ #
     # memory-footprint tracking (high-water mark per rank)
 
-    def note_memory(self, ranks: RankGroup | Iterable[int] | int, words_each: float) -> None:
+    def note_memory(
+        self, ranks: RankGroup | Iterable[int] | int, words_each: float | np.ndarray
+    ) -> None:
         """Record that each listed rank currently holds ``words_each`` words.
 
-        The distribution layer calls this when matrices are created or
-        replicated; only the peak matters for the M claims.
+        ``words_each`` is a scalar or a 1-D array aligned with the rank
+        order.  The distribution layer calls this when matrices are created
+        or replicated; only the peak matters for the M claims.
         """
-        idx, _ = self._resolve(ranks)
-        self.counters.note_memory(idx, words_each)  # max-based: duplicates are idempotent
+        idx, unique = self._resolve(ranks)
+        # max-based: duplicates are order-insensitive either way
+        self.counters.note_memory(idx, words_each, unique=unique)
 
-    def add_memory(self, ranks: RankGroup | Iterable[int] | int, words_each: float) -> None:
+    def add_memory(
+        self, ranks: RankGroup | Iterable[int] | int, words_each: float | np.ndarray
+    ) -> None:
         """Increase each rank's live footprint by ``words_each`` words."""
         idx, unique = self._resolve(ranks)
-        if not unique:
-            for r in idx.tolist():  # keep per-occurrence loop semantics
-                self.counters.add_memory(r, words_each)
+        if not unique and np.min(words_each) < 0:
+            # negative grants: per-occurrence peak order matters, keep the loop
+            each = np.broadcast_to(np.asarray(words_each, dtype=np.float64), idx.shape)
+            for r, w in zip(idx.tolist(), each.tolist()):
+                self.counters.add_memory(r, w)
             return
-        self.counters.add_memory(idx, words_each)
+        self.counters.add_memory(idx, words_each, unique=unique)
 
-    def release_memory(self, ranks: RankGroup | Iterable[int] | int, words_each: float) -> None:
+    def release_memory(
+        self, ranks: RankGroup | Iterable[int] | int, words_each: float | np.ndarray
+    ) -> None:
         """Decrease each rank's live footprint (never below zero)."""
         idx, unique = self._resolve(ranks)
-        if not unique:
-            for r in idx.tolist():  # per-occurrence clamping at zero
-                self.counters.release_memory(r, words_each)
+        if not unique and np.min(words_each) < 0:
+            # negative releases: per-occurrence clamp order matters, keep the loop
+            each = np.broadcast_to(np.asarray(words_each, dtype=np.float64), idx.shape)
+            for r, w in zip(idx.tolist(), each.tolist()):
+                self.counters.release_memory(r, w)
             return
-        self.counters.release_memory(idx, words_each)
+        self.counters.release_memory(idx, words_each, unique=unique)
 
     # ------------------------------------------------------------------ #
     # span tracing (see repro.trace)

@@ -64,7 +64,10 @@ class ScalarCounterStore:
         for i, a in _amounts(idx, amount):
             self._counters[i].flops += a
 
-    def add_comm(self, send_idx=None, sent=None, recv_idx=None, recvd=None) -> None:
+    def add_comm(self, send_idx=None, sent=None, recv_idx=None, recvd=None,
+                 unique: bool = True) -> None:
+        # the loop accumulates duplicate indices regardless, so ``unique``
+        # (the CounterArray np.add.at switch) changes nothing here
         if send_idx is not None:
             for i, w in _amounts(send_idx, sent):
                 self._counters[i].words_sent += w
@@ -72,30 +75,36 @@ class ScalarCounterStore:
             for i, w in _amounts(recv_idx, recvd):
                 self._counters[i].words_recv += w
 
-    def add_supersteps(self, idx, count: int, unique: bool = True) -> None:
-        for i in _iter_idx(idx):
-            self._counters[i].supersteps += count
+    def add_supersteps(self, idx, count, unique: bool = True) -> None:
+        if np.ndim(count) == 0:
+            for i in _iter_idx(idx):
+                self._counters[i].supersteps += count
+        else:
+            # per-element counts (batched flush): same zip contract as the
+            # float fields' _amounts
+            for i, c in zip(_iter_idx(idx), count):
+                self._counters[i].supersteps += int(c)
 
     def add_mem_traffic(self, idx, words, unique: bool = True) -> None:
         for i, w in _amounts(idx, words):
             self._counters[i].mem_traffic += w
 
-    def note_memory(self, idx, words_each: float) -> None:
-        for i in _iter_idx(idx):
+    def note_memory(self, idx, words_each, unique: bool = True) -> None:
+        for i, w in _amounts(idx, words_each):
             c = self._counters[i]
-            c.current_memory_words = max(c.current_memory_words, words_each)
+            c.current_memory_words = max(c.current_memory_words, w)
             c.peak_memory_words = max(c.peak_memory_words, c.current_memory_words)
 
-    def add_memory(self, idx, words_each: float) -> None:
-        for i in _iter_idx(idx):
+    def add_memory(self, idx, words_each, unique: bool = True) -> None:
+        for i, w in _amounts(idx, words_each):
             c = self._counters[i]
-            c.current_memory_words += words_each
+            c.current_memory_words += w
             c.peak_memory_words = max(c.peak_memory_words, c.current_memory_words)
 
-    def release_memory(self, idx, words_each: float) -> None:
-        for i in _iter_idx(idx):
+    def release_memory(self, idx, words_each, unique: bool = True) -> None:
+        for i, w in _amounts(idx, words_each):
             c = self._counters[i]
-            c.current_memory_words = max(0.0, c.current_memory_words - words_each)
+            c.current_memory_words = max(0.0, c.current_memory_words - w)
 
     # -- snapshots and reports ------------------------------------------ #
 

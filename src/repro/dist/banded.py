@@ -35,9 +35,9 @@ class DistBandMatrix:
         machine.check_group(group)
         sizes = split_evenly(self.n, group.size)
         self._col_starts = np.array(chunk_offsets(sizes) + [self.n], dtype=np.int64)
+        self._ranks_arr = np.array(group.ranks, dtype=np.int64)
         # Band storage words per rank: (b+1) words per owned column.
-        for r, sz in zip(group, sizes):
-            machine.note_memory(r, float((self.b + 1) * sz))
+        machine.note_memory(group, (self.b + 1.0) * np.asarray(sizes, dtype=np.float64))
 
     # ------------------------------------------------------------------ #
 
@@ -55,9 +55,16 @@ class DistBandMatrix:
 
     def owners_of_cols(self, j0: int, j1: int) -> RankGroup:
         """Distinct ranks owning columns [j0, j1)."""
-        blks = np.searchsorted(self._col_starts, np.arange(j0, j1), side="right") - 1
-        ranks = tuple(dict.fromkeys(self.group[int(b)] for b in blks))
-        return RankGroup(ranks)
+        if j1 <= j0:
+            return RankGroup(())
+        # Owning blocks are a contiguous run; two searchsorteds replace the
+        # old O(j1−j0) per-column scan.  Zero-width blocks inside the run
+        # (possible when group.size > n) own no columns and are dropped.
+        lo = int(np.searchsorted(self._col_starts, j0, side="right")) - 1
+        hi = int(np.searchsorted(self._col_starts, j1 - 1, side="right")) - 1
+        blks = np.arange(lo, hi + 1)
+        widths = self._col_starts[blks + 1] - self._col_starts[blks]
+        return RankGroup(tuple(int(r) for r in self._ranks_arr[blks[widths > 0]]))
 
     def band_words_in_cols(self, j0: int, j1: int) -> float:
         """Stored band words in columns [j0, j1)."""
@@ -109,6 +116,34 @@ class DistBandMatrix:
         self.machine.superstep(involved, 1)
         self.machine.trace.record("band_store", involved.ranks, words=words, tag=tag)
 
+    # -- batched variants (charge into a ChargeLog, one flush per stage) -- #
+    #
+    # These append the *same* per-rank charge amounts fetch_window /
+    # charge_store issue, in the same order, to a
+    # :class:`repro.bsp.batch.ChargeLog`; the log's single flush replays
+    # them with order-preserving batch adds, so aggregate costs are
+    # bit-identical to the per-step path.  Callers must hold
+    # ``batched_charging_ok(machine)`` — trace/fault hooks are skipped here.
+
+    def fetch_window_batched(self, log, rows: slice, cols: slice, to_group: RankGroup) -> np.ndarray:
+        """ChargeLog twin of :meth:`fetch_window`; returns the window copy."""
+        window = self.data[rows, cols]
+        words = float(max(int(np.count_nonzero(window)), min(window.size, 1)))
+        owners = self.owners_of_cols(cols.start, cols.stop)
+        log.charge_comm(owners.indices(), words / owners.size,
+                        to_group.indices(), words / to_group.size)
+        log.superstep(np.union1d(owners.indices(), to_group.indices()), 1)
+        return window.copy()
+
+    def charge_store_batched(self, log, rows: slice, cols: slice, from_group: RankGroup) -> None:
+        """ChargeLog twin of :meth:`charge_store` (window already written)."""
+        window = self.data[rows, cols]
+        words = float(max(int(np.count_nonzero(window)), min(window.size, 1)))
+        owners = self.owners_of_cols(cols.start, cols.stop)
+        log.charge_comm(from_group.indices(), words / from_group.size,
+                        owners.indices(), words / owners.size)
+        log.superstep(np.union1d(from_group.indices(), owners.indices()), 1)
+
     def store_window(self, rows: slice, cols: slice, values: np.ndarray, from_group: RankGroup, tag: str = "store") -> None:
         """Write back a dense window from ``from_group`` to the owners.
 
@@ -151,17 +186,20 @@ class DistBandMatrix:
         """
         new = DistBandMatrix(self.machine, self.data, self.b, new_group)
         old_starts, new_starts = self._col_starts, new._col_starts
-        sends: dict[int, float] = {}
-        recvs: dict[int, float] = {}
-        moved = 0.0
-        for j in range(self.n):
-            src = self.group[int(np.searchsorted(old_starts, j, side="right") - 1)]
-            dst = new_group[int(np.searchsorted(new_starts, j, side="right") - 1)]
-            if src != dst:
-                w = float(self.b + 1)
-                sends[src] = sends.get(src, 0.0) + w
-                recvs[dst] = recvs.get(dst, 0.0) + w
-                moved += w
+        # Vectorized owner maps: one array searchsorted per layout instead of
+        # a scalar searchsorted per column.  Each moved column contributes
+        # the same integer-valued w = b+1, so per-rank counts × w equals the
+        # old per-column accumulation bit-for-bit (exact float integers).
+        cols = np.arange(self.n)
+        src = self._ranks_arr[np.searchsorted(old_starts, cols, side="right") - 1]
+        dst = new._ranks_arr[np.searchsorted(new_starts, cols, side="right") - 1]
+        mask = src != dst
+        w = float(self.b + 1)
+        src_ranks, src_counts = np.unique(src[mask], return_counts=True)
+        dst_ranks, dst_counts = np.unique(dst[mask], return_counts=True)
+        sends = {int(r): float(k) * w for r, k in zip(src_ranks, src_counts)}
+        recvs = {int(r): float(k) * w for r, k in zip(dst_ranks, dst_counts)}
+        moved = float(int(mask.sum())) * w
         involved = RankGroup(tuple(dict.fromkeys(list(self.group) + list(new_group))))
         self.machine.charge_comm(sends=sends, recvs=recvs)
         self.machine.superstep(involved, 1)

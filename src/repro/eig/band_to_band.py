@@ -18,6 +18,8 @@ F = O(nÂ²b/p), W = O(n^{1+Î´} b^{1âˆ’Î´}/p^Î´), S = O(k^Î´ n^{1âˆ’Î´} p^Î´/b^{1â
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bsp.group import RankGroup
@@ -31,17 +33,14 @@ from repro.linalg.sbr import ChaseStep, chase_steps
 from repro.linalg.householder import compact_wy_qr_general
 
 
-def _chase_qr(
-    machine: BSPMachine, group: RankGroup, block: np.ndarray, tag: str
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """QR of one chase block on a group (rect-QR, or local when degenerate)."""
+def _charge_chase_qr(machine: BSPMachine, group: RankGroup, block: np.ndarray, tag: str) -> None:
+    """Charge one chase block's QR on a group (rect-QR, or local when degenerate)."""
     m, ncols = block.shape
     if m >= ncols and group.size > 1:
-        return rect_qr(machine, group, block, charge_redistribution=False, tag=tag)
-    u, t, r = compact_wy_qr_general(block)
-    machine.charge_flops(group[0], qr_flops(max(m, ncols), min(m, ncols)))
-    machine.superstep(group, 1)
-    return u, t, r
+        rect_qr(machine, group, block, charge_redistribution=False, tag=tag)
+    else:
+        machine.charge_flops(group[0], qr_flops(max(m, ncols), min(m, ncols)))
+        machine.superstep(group, 1)
 
 
 def apply_chase_parallel(
@@ -58,12 +57,22 @@ def apply_chase_parallel(
     the QR runs on ``qr_group`` (Î Ì‚_j[1 : ph/n]) and the V/update products on
     ``upd_group`` (Î Ì‚_j), with window fetch/store charged against the band's
     column owners.
+
+    The band's *values* evolve via one direct compact-WY factorization and
+    plain dense products per step â€” the same arithmetic the batched engine
+    (:mod:`repro.eig.chase_batch`) performs â€” while the parallel kernels run
+    alongside purely for their charges, traces, spans and fault hooks (their
+    costs depend only on shapes and groups, their numerical results only in
+    summation order).  Sharing one data evolution keeps window nonzero
+    counts â€” the only value-dependent charges â€” identical across engines,
+    which is what makes the two cost reports byte-equal at every size.
     """
     rows = slice(step.oqr_r, step.oqr_r + step.nr)
     cols = slice(step.oqr_c, step.oqr_c + step.ncols)
     with machine.span("chase_qr", group=qr_group):
         block = band.fetch_window(rows, cols, qr_group, tag=f"{tag}:qr_fetch")
-        u, t, r = _chase_qr(machine, qr_group, block, tag=f"{tag}:qr")
+        u, t, r = compact_wy_qr_general(block)
+        _charge_chase_qr(machine, qr_group, block, tag=f"{tag}:qr")
         out = np.zeros_like(block)
         out[: r.shape[0], :] = r
         band.store_window(rows, cols, out, qr_group, tag=f"{tag}:qr_store")
@@ -77,19 +86,42 @@ def apply_chase_parallel(
         # products are charged through CARMA (Lemma III.2), exactly as Lemma
         # IV.3's proof invokes it â€” for these outer shapes CARMA splits both
         # operands, beating any pattern that replicates U to the whole group.
-        ut = carma_matmul(machine, upd_group, u, t, charge_redistribution=False, tag=f"{tag}:UT")
-        w = carma_matmul(machine, upd_group, bup, ut, charge_redistribution=False, tag=f"{tag}:W")
+        ut = u @ t  # cost: free(charged via the carma call on the next line)
+        carma_matmul(machine, upd_group, u, t, charge_redistribution=False, tag=f"{tag}:UT")
+        w = bup @ ut  # cost: free(charged via the carma call on the next line)
+        carma_matmul(machine, upd_group, bup, ut, charge_redistribution=False, tag=f"{tag}:W")
         v = -w
         vrows = slice(step.ov, step.ov + step.nr)
-        inner = carma_matmul(machine, upd_group, u.T, w[vrows, :], charge_redistribution=False, tag=f"{tag}:V")
+        inner = u.T @ w[vrows, :]  # cost: free(charged via the carma call on the next line)
+        carma_matmul(machine, upd_group, u.T, w[vrows, :], charge_redistribution=False, tag=f"{tag}:V")
         v[vrows, :] += 0.5 * (u @ (t.T @ inner))  # cost: free(charged via charge_flops on the next line)
         machine.charge_flops(upd_group, 2.0 * u.size * t.shape[0] / upd_group.size)
         # Lines 21â€“22: two-sided rank-2h update of the window (both triangles;
         # the overlap block B[Iqr, Iqr] accumulates UVáµ€ AND VUáµ€).
-        uvt = carma_matmul(machine, upd_group, u, v.T, charge_redistribution=False, tag=f"{tag}:UVt")
+        uvt = u @ v.T  # cost: free(charged via the carma call on the next line)
+        carma_matmul(machine, upd_group, u, v.T, charge_redistribution=False, tag=f"{tag}:UVt")
         band.data[rows, up] += uvt
         band.data[up, rows] += uvt.T
         band.charge_store(rows, up, upd_group, tag=f"{tag}:upd_store")
+
+
+def resolve_chase_engine(machine: BSPMachine, chase_engine: str | None = None) -> str:
+    """Pick "batched" or "perstep" for the chase loops.
+
+    Explicit argument wins, then the ``REPRO_CHASE_ENGINE`` environment
+    variable, then "auto".  "auto" selects the batched engine exactly when
+    :func:`repro.bsp.batch.batched_charging_ok` holds â€” observed runs
+    (trace, spans, metrics, fault injection, verifying machines) always get
+    the per-step path so their artifacts are unchanged.
+    """
+    from repro.bsp.batch import batched_charging_ok
+
+    engine = chase_engine or os.environ.get("REPRO_CHASE_ENGINE") or "auto"
+    if engine not in ("auto", "batched", "perstep"):
+        raise ValueError(f"unknown chase engine {engine!r}")
+    if engine == "auto":
+        return "batched" if batched_charging_ok(machine) else "perstep"
+    return engine
 
 
 def band_to_band_2p5d(
@@ -97,11 +129,15 @@ def band_to_band_2p5d(
     band: DistBandMatrix,
     k: int = 2,
     tag: str = "b2b",
+    chase_engine: str | None = None,
 ) -> DistBandMatrix:
     """Reduce a distributed band-``b`` matrix to band-width ``b/k``.
 
     Returns a new :class:`DistBandMatrix` with band-width ``h = b/k`` over
     the same group.  ``k`` must divide ``b`` (the paper's b mod k â‰¡ 0).
+
+    ``chase_engine`` selects per-step or batched charging (see
+    :func:`resolve_chase_engine`); both produce bit-identical cost reports.
     """
     b = band.b
     n = band.n
@@ -119,12 +155,17 @@ def band_to_band_2p5d(
     # QR sub-groups: Î Ì‚_j[1 : pÂ·h/n] (line 16).
     qr_size = max(1, (p * h) // n)
 
-    with machine.span("band_to_band", group=group):
-        for step in chase_steps(n, b, h):
-            gidx = group_of_step(step, n, b) % n_groups
-            upd_group = subgroups[gidx]
-            qr_group = upd_group.take(min(qr_size, upd_group.size))
-            apply_chase_parallel(machine, band, step, qr_group, upd_group, tag=tag)
+    if resolve_chase_engine(machine, chase_engine) == "batched":
+        from repro.eig.chase_batch import run_chases_batched
+
+        run_chases_batched(machine, band, h, subgroups, qr_size, n_groups)
+    else:
+        with machine.span("band_to_band", group=group):
+            for step in chase_steps(n, b, h):
+                gidx = group_of_step(step, n, b) % n_groups
+                upd_group = subgroups[gidx]
+                qr_group = upd_group.take(min(qr_size, upd_group.size))
+                apply_chase_parallel(machine, band, step, qr_group, upd_group, tag=tag)
 
     band.data[:] = (band.data + band.data.T) / 2.0
     machine.trace.record("band_to_band", group.ranks, tag=tag)

@@ -22,16 +22,68 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bsp.group import RankGroup
-from repro.bsp.kernels import matmul_flops, qr_flops
+from repro.bsp.kernels import matmul_flops, matmul_flops_arr, qr_flops, qr_flops_arr
 from repro.bsp.machine import BSPMachine
 from repro.dist.banded import DistBandMatrix
 from repro.linalg.sbr import apply_chase_step, chase_steps
+
+
+def _run_chases_1d_batched(
+    machine: BSPMachine, band: DistBandMatrix, h: int, tag: str
+) -> DistBandMatrix:
+    """Batched twin of :func:`_run_chases_1d` (same charges, one flush).
+
+    Charges are computed from the vectorized schedule arrays and appended
+    to a :class:`~repro.bsp.batch.ChargeLog` in the per-step order — per
+    step: QR flops, update flops, window stream, then the hand-off
+    comm/sync when the bulge crosses an ownership boundary — so the flush
+    reproduces the loop's cost report bit-for-bit.  The numerics loop is
+    unchanged (identical `apply_chase_step` sequence).
+    """
+    from repro.bsp.batch import ChargeLog
+    from repro.eig.schedule import chase_step_arrays
+
+    n, b = band.n, band.b
+    group = band.group
+    arr = chase_step_arrays(n, b, h)
+    nr, ncols, nc = arr["nr"], arr["ncols"], arr["nc"]
+    owner = band._ranks_arr[
+        np.searchsorted(band._col_starts, arr["oqr_c"], side="right") - 1
+    ]
+    nrf = nr.astype(np.float64)
+    ncolsf = ncols.astype(np.float64)
+    ncf = nc.astype(np.float64)
+    log = ChargeLog(machine)
+    # Per-step flop order (QR then update) per rank: interleave the two
+    # per-step streams before the single add.
+    qrf = qr_flops_arr(np.maximum(nrf, ncolsf), np.minimum(nrf, ncolsf))
+    mmf = 3.0 * matmul_flops_arr(ncf, nrf, ncolsf)
+    log.charge_flops(np.repeat(owner, 2), np.column_stack([qrf, mmf]).ravel())
+    log.mem_stream(owner, (nc * nr + nr * ncols).astype(np.float64))
+    # A hand-off happens exactly when the previous step of the *same panel*
+    # had a different owner (panel-major order keeps panels contiguous).
+    hand = (arr["i"][1:] == arr["i"][:-1]) & (owner[1:] != owner[:-1])
+    if hand.any():
+        src = owner[:-1][hand]
+        dst = owner[1:][hand]
+        words = (nr * (ncols + nc)).astype(np.float64)[1:][hand]
+        log.charge_comm(src, words, dst, words)
+        log.superstep(np.concatenate([src, dst]), 1)
+    log.flush()
+    for step in chase_steps(n, b, h):
+        apply_chase_step(band.data, step)
+    band.data[:] = (band.data + band.data.T) / 2.0
+    return DistBandMatrix(machine, band.data, h, group)
 
 
 def _run_chases_1d(
     machine: BSPMachine, band: DistBandMatrix, h: int, tag: str
 ) -> DistBandMatrix:
     """Drive all chase steps with 1-D column ownership and boundary syncs."""
+    from repro.eig.band_to_band import resolve_chase_engine
+
+    if resolve_chase_engine(machine) == "batched":
+        return _run_chases_1d_batched(machine, band, h, tag)
     n, b = band.n, band.b
     group = band.group
     prev_owner: dict[int, int] = {}  # panel index -> owner of its last chase

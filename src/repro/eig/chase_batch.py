@@ -1,0 +1,104 @@
+"""Batched execution engine for the 2.5D band-to-band chase schedule.
+
+:func:`repro.eig.band_to_band.apply_chase_parallel` charges every chase
+step through full machine primitives and recursive kernel calls (rect-QR,
+CARMA); at n ≥ 512 the per-step Python overhead of those recursions
+dominates wall time even though the *charges* they produce depend only on
+operand shapes and groups.  This engine runs the same panel-major schedule
+with:
+
+* window traffic appended to a :class:`repro.bsp.batch.ChargeLog` via the
+  batched ``DistBandMatrix`` variants,
+* kernel charges replayed from a :class:`repro.bsp.batch.KernelTape`
+  (one real kernel run per distinct (shape, group) key),
+* numerics done directly — one compact-WY QR and four dense products per
+  step — instead of through the kernels' recursion trees.
+
+Charge events are appended in exactly the per-step order (fetch, QR,
+store, fetch, UT, W, V, rank-2h flops, UVᵀ, store — step by step in
+panel-major order), so the single flush reproduces the per-step cost
+report bit-for-bit on both counter engines.  The pipeline-wave structure
+(steps sharing a ``phase``) is what makes the schedule's groups disjoint
+and the linearization valid; see :func:`repro.eig.schedule.wave_sizes`.
+
+Numerics note: the direct compact-WY factorization is a valid QR of the
+same block the parallel kernel factors, so the reduction is numerically
+equivalent (same R structure, orthogonally-similar trailing updates) but
+not bit-equal to the kernel recursion's floating-point order.  Costs do
+not depend on those low bits — window charges count nonzero structure,
+everything else is shape-based — which the byte-identity tests pin down.
+"""
+# cost: free-module(numerics only; every charge goes through ChargeLog/KernelTape replay of the per-step sequence)
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bsp.batch import ChargeLog, KernelTape
+from repro.bsp.kernels import qr_flops
+from repro.bsp.machine import BSPMachine
+from repro.dist.banded import DistBandMatrix
+from repro.eig.schedule import group_of_step
+from repro.linalg.householder import compact_wy_qr_general
+from repro.linalg.sbr import chase_steps
+
+
+def run_chases_batched(
+    machine: BSPMachine,
+    band: DistBandMatrix,
+    h: int,
+    subgroups: list,
+    qr_size: int,
+    n_groups: int,
+) -> None:
+    """Run the full chase schedule, charging through one ChargeLog flush.
+
+    Mirrors the loop body of :func:`~repro.eig.band_to_band.band_to_band_2p5d`
+    + :func:`~repro.eig.band_to_band.apply_chase_parallel` charge for charge.
+    Caller guarantees ``batched_charging_ok(machine)``.
+    """
+    n, b = band.n, band.b
+    log = ChargeLog(machine)
+    tape = KernelTape(machine)
+    data = band.data
+    for step in chase_steps(n, b, h):
+        gidx = group_of_step(step, n, b) % n_groups
+        upd_group = subgroups[gidx]
+        qr_group = upd_group.take(min(qr_size, upd_group.size))
+
+        rows = slice(step.oqr_r, step.oqr_r + step.nr)
+        cols = slice(step.oqr_c, step.oqr_c + step.ncols)
+        block = band.fetch_window_batched(log, rows, cols, qr_group)
+        m, ncols = block.shape
+        u, t, r = compact_wy_qr_general(block)
+        if m >= ncols and qr_group.size > 1:
+            tape.rect_qr(log, m, ncols, qr_group)
+        else:
+            log.charge_flops(qr_group[0], qr_flops(max(m, ncols), min(m, ncols)))
+            log.superstep(qr_group.indices(), 1)
+        out = np.zeros_like(block)
+        out[: r.shape[0], :] = r
+        data[rows, cols] = out
+        data[cols, rows] = out.T
+        band.charge_store_batched(log, rows, cols, qr_group)
+
+        if step.nc <= 0:
+            continue
+        up = slice(step.oup_c, step.oup_c + step.nc)
+        bup = band.fetch_window_batched(log, up, rows, upd_group)
+        ut = u @ t  # cost: free(replayed from the carma tape on the next line)
+        tape.carma(log, u.shape[0], u.shape[1], t.shape[1], upd_group)
+        w = bup @ ut  # cost: free(replayed from the carma tape on the next line)
+        tape.carma(log, bup.shape[0], bup.shape[1], ut.shape[1], upd_group)
+        v = -w
+        vrows = slice(step.ov, step.ov + step.nr)
+        inner = u.T @ w[vrows, :]  # cost: free(replayed from the carma tape on the next line)
+        tape.carma(log, u.shape[1], u.shape[0], w.shape[1], upd_group)
+        v[vrows, :] += 0.5 * (u @ (t.T @ inner))  # cost: free(charged via charge_flops on the next line)
+        log.charge_flops(upd_group.indices(), 2.0 * u.size * t.shape[0] / upd_group.size)
+        uvt = u @ v.T  # cost: free(replayed from the carma tape on the next line)
+        tape.carma(log, u.shape[0], u.shape[1], v.shape[0], upd_group)
+        data[rows, up] += uvt
+        data[up, rows] += uvt.T
+        band.charge_store_batched(log, rows, up, upd_group)
+    log.flush()

@@ -37,7 +37,7 @@ from repro.faults.recovery import (
     guard_tridiagonal,
     run_stage,
 )
-from repro.linalg.sbr import tridiagonalize_band_seq
+from repro.linalg.band_tridiag import band_to_tridiagonal_storage, extract_band
 from repro.linalg.tridiag import sturm_bisection_eigenvalues
 from repro.model.tuning import replan_delta
 from repro.util.intlog import next_power_of_two
@@ -65,11 +65,11 @@ def finish_sequential(
             guard_band(machine, data, b, norm0, "finish:gather",
                        RankGroup((root,)))
         if b > 1:
-            tri = tridiagonalize_band_seq(data, b)
+            # Band-storage reduction: (b+2)·n working words on root instead
+            # of the dense path's n².  Charges are unchanged (analytic).
+            d, e = band_to_tridiagonal_storage(extract_band(data, b), b)
             machine.charge_flops(root, 8.0 * n * b * b)
             machine.mem_stream(root, float(n * b) * max(1.0, np.log2(max(2, b))))
-            d = np.diag(tri).copy()
-            e = np.diag(tri, -1).copy()
         else:
             d = np.diag(data).copy()
             e = np.diag(data, -1).copy()

@@ -86,13 +86,19 @@ def full_to_band_2p5d(
         machine.trace.record("replicate_A", group.ranks, words=share * p, tag=tag)
 
         bmat = np.zeros((n, n))
-        u_glob = np.zeros((n, 0))
-        v_glob = np.zeros((n, 0))
+        # Aggregated update panels U, V, written in place into preallocated
+        # buffers; the first m_cols columns are live.  (Re-stacking the whole
+        # aggregate every panel was O(n³/b) pure copying at scale.)
+        u_buf = np.zeros((n, n))
+        v_buf = np.zeros((n, n))
+        m_cols = 0
 
         c0 = 0
-        while n - c0 > b:
+        while n - c0 > b:  # certify: trips(n / b)
             nbar = n - c0
-            m_agg = u_glob.shape[1]
+            m_agg = m_cols
+            u_glob = u_buf[:, :m_cols]
+            v_glob = v_buf[:, :m_cols]
 
             # ---- line 5: left-looking update of the current panel ------------
             panel = a[c0:, c0 : c0 + b].copy()
@@ -160,25 +166,23 @@ def full_to_band_2p5d(
             bmat[c0 : c0 + b, c0 + b : c0 + b + rrows] = r1.T
 
             # ---- append the new panels to the aggregates -----------------------
-            pad_u = np.zeros((n, u1.shape[1]))
-            pad_u[c0 + b :, :] = u1
-            pad_v = np.zeros((n, v1.shape[1]))
-            pad_v[c0 + b :, :] = v1
-            u_glob = np.hstack([u_glob, pad_u])
-            v_glob = np.hstack([v_glob, pad_v])
-            machine.note_memory(group, 3 * share + 2.0 * n * u_glob.shape[1] / (q * q))
+            width = u1.shape[1]
+            u_buf[c0 + b :, m_cols : m_cols + width] = u1
+            v_buf[c0 + b :, m_cols : m_cols + width] = v1
+            m_cols += width
+            machine.note_memory(group, 3 * share + 2.0 * n * m_cols / (q * q))
 
             c0 += b
 
         # ---- base case (lines 1–2): apply the aggregate to the tail block -----
         tail = a[c0:, c0:].copy()
-        if u_glob.shape[1]:
+        if m_cols:
             with machine.span("tail", group=group):
                 tail += streaming_matmul(
-                    machine, grid, u_glob[c0:, :], v_glob[c0:, :].T, w, a_key="Uagg", tag=f"{tag}:tail"
+                    machine, grid, u_buf[c0:, :m_cols], v_buf[c0:, :m_cols].T, w, a_key="Uagg", tag=f"{tag}:tail"
                 )
                 tail += streaming_matmul(
-                    machine, grid, v_glob[c0:, :], u_glob[c0:, :].T, w, a_key="Vagg", tag=f"{tag}:tail"
+                    machine, grid, v_buf[c0:, :m_cols], u_buf[c0:, :m_cols].T, w, a_key="Vagg", tag=f"{tag}:tail"
                 )
         bmat[c0:, c0:] = (tail + tail.T) / 2.0
         machine.trace.record("full_to_band", group.ranks, tag=tag)

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.linalg.sbr import ChaseStep, chase_steps
 
 
@@ -46,6 +48,49 @@ def pipeline_schedule(n: int, b: int, h: int) -> list[PipelinePhase]:
         PipelinePhase(phase=ph, steps=tuple(sorted(buckets[ph], key=lambda s: s.i)))
         for ph in sorted(buckets)
     ]
+
+
+def chase_step_arrays(n: int, b: int, h: int) -> dict[str, np.ndarray]:
+    """Vectorized view of :func:`repro.linalg.sbr.chase_steps`.
+
+    Returns one int64 array per :class:`~repro.linalg.sbr.ChaseStep` field
+    (plus ``phase``), in the same panel-major order — field ``f`` of step
+    ``s`` is ``arrays[f][s]``.  The batched chase engines charge whole
+    schedules from these arrays instead of looping over step objects;
+    equality with the per-step enumeration is pinned by tests.
+    """
+    if not 1 <= h < b < n:
+        raise ValueError(f"need 1 <= h < b < n, got h={h}, b={b}, n={n}")
+    n_panels = -(-n // h) - 1  # ceil(n/h) − 1
+    i_panel = np.arange(1, n_panels + 1, dtype=np.int64)
+    # Chases per panel: the j ≥ 1 with i·h + (j−1)·b < n.
+    counts = -(-(n - i_panel * h) // b)
+    total = int(counts.sum())
+    i_arr = np.repeat(i_panel, counts)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    j_arr = np.arange(total, dtype=np.int64) - np.repeat(starts, counts) + 1
+    oqr_r = i_arr * h + (j_arr - 1) * b
+    oqr_c = np.where(j_arr == 1, oqr_r - h, oqr_r - b)
+    nr = np.minimum(n - oqr_r, b)
+    ncols = np.minimum(h, n - oqr_c)
+    oup_c = oqr_c + h
+    nc = np.maximum(0, np.minimum(n - oup_c, h + 3 * b))
+    ov = oqr_r - oup_c
+    phase = j_arr + 2 * (i_arr - 1)
+    return {
+        "i": i_arr, "j": j_arr, "oqr_r": oqr_r, "oqr_c": oqr_c, "nr": nr,
+        "ncols": ncols, "oup_c": oup_c, "nc": nc, "ov": ov, "phase": phase,
+    }
+
+
+def wave_sizes(n: int, b: int, h: int) -> np.ndarray:
+    """Concurrent step count of each pipeline phase (phases 1..max, dense).
+
+    ``wave_sizes(...)[ph-1]`` is the width of Figure 2's row ``ph`` — the
+    number of disjoint-group chase steps the pipeline runs at once.
+    """
+    phase = chase_step_arrays(n, b, h)["phase"]
+    return np.bincount(phase)[1:]
 
 
 def group_of_step(step: ChaseStep, n: int, b: int) -> int:

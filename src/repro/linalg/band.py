@@ -80,14 +80,19 @@ class SymmetricBand:
         self.data[d, j] = value
 
     def window(self, rows: slice, cols: slice) -> np.ndarray:
-        """Return a dense copy of the sub-block A[rows, cols]."""
+        """Return a dense copy of the sub-block A[rows, cols].
+
+        Vectorized banded gather: element (i, j) lives at
+        ``data[|i−j|, min(i,j)]`` when ``|i−j| ≤ b`` and is zero outside
+        the band — one fancy-indexed read for the whole window.
+        """
         r = np.arange(rows.start, rows.stop)
         c = np.arange(cols.start, cols.stop)
-        out = np.zeros((r.size, c.size))
-        for a, i in enumerate(r):
-            for bj, j in enumerate(c):
-                out[a, bj] = self[i, j]
-        return out
+        i = np.maximum(r[:, None], c[None, :])
+        j = np.minimum(r[:, None], c[None, :])
+        d = i - j
+        inside = d <= self.b
+        return np.where(inside, self.data[np.where(inside, d, 0), np.where(inside, j, 0)], 0.0)
 
     @property
     def words(self) -> int:
@@ -119,7 +124,7 @@ class SymmetricBand:
         Used at the very end of the parallel pipeline (the band is n/p wide,
         gathered on one rank).  Validated against numpy in tests.
         """
-        from repro.linalg.sbr import tridiagonalize_band_seq
+        from repro.linalg.band_tridiag import band_to_tridiagonal_storage
         from repro.linalg.tridiag import sturm_bisection_eigenvalues
 
         if self.b == 0:
@@ -128,7 +133,7 @@ class SymmetricBand:
             d = self.data[0].copy()
             e = self.data[1, : self.n - 1].copy()
         else:
-            t = tridiagonalize_band_seq(self.to_dense(), self.b)
-            d = np.diag(t).copy()
-            e = np.diag(t, -1).copy()
+            # Reduce in band storage — (b+2)·n working words, never the
+            # dense n² that to_dense() + tridiagonalize_band_seq needed.
+            d, e = band_to_tridiagonal_storage(self.data, self.b)
         return sturm_bisection_eigenvalues(d, e)

@@ -1,0 +1,190 @@
+"""Band-storage symmetric tridiagonalization (Schwarz/Rutishauser).
+
+The finish stage of Algorithm IV.3 reduces the gathered band (width
+b = n/p) to tridiagonal.  The dense-reference path
+(:func:`repro.linalg.sbr.tridiagonalize_band_seq`) materializes the full
+n×n matrix; this module does the same reduction *in band storage* with
+one extra working diagonal for the travelling bulge — (b+2)·n words total,
+the memory the paper's sequential finish actually needs.
+
+Algorithm: Givens-based bandwidth reduction.  For each working band-width
+``wb`` from b down to 2, annihilate every outermost-diagonal element
+``A[j+wb, j]`` with a rotation of rows/columns ``(j+wb−1, j+wb)``; each
+rotation spills one bulge element to distance ``wb+1``, which is chased off
+the bottom of the matrix by further rotations before the next column starts.
+O(n²·b) flops, O(b) work per rotation.
+
+Storage convention matches :class:`repro.linalg.band.SymmetricBand`:
+``data[d, j] = A[j+d, j]`` for ``d ∈ [0, b]``.
+"""
+# cost: free-module(sequential numerics; the finish stage charges analytic flop/stream costs)
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def extract_band(a: np.ndarray, b: int) -> np.ndarray:
+    """Lower-band storage ``data[d, j] = A[j+d, j]`` of a dense symmetric A."""
+    a = np.asarray(a, dtype=np.float64)
+    n = a.shape[0]
+    out = np.zeros((b + 1, n))
+    for d in range(b + 1):
+        out[d, : n - d] = a[np.arange(d, n), np.arange(n - d)]
+    return out
+
+
+def _givens(a: float, t: float) -> tuple[float, float]:
+    """Rotation (c, s) with ``-s·a + c·t = 0`` and ``c·a + s·t = r ≥ 0``."""
+    r = math.hypot(a, t)
+    if r == 0.0:
+        return 1.0, 0.0
+    return a / r, t / r
+
+
+def _rotate(work: np.ndarray, flat: np.ndarray, n: int, wbw: int,
+            p: int, c: float, s: float) -> None:
+    """Two-sided rotation of rows/columns (p, p+1) within band-width wbw.
+
+    ``flat`` is ``work.ravel()`` — the row segments A[p, j] / A[q, j]
+    (j < p) live on arithmetic progressions of step (1−n) in the raveled
+    band, so both row segments and both column segments are strided-slice
+    views: no fancy indexing in the hot loop.
+    """
+    q = p + 1
+    step = 1 - n
+    jlo = q - wbw
+    if jlo < 0:
+        jlo = 0
+    if jlo < p:
+        # A[p, j] = work[p-j, j] -> flat[p*n + j*step]; likewise row q.
+        ap = flat[p * n + jlo * step : p : step]
+        aq = flat[q * n + jlo * step : p + n : step]
+        tp = c * ap + s * aq
+        tq = c * aq - s * ap
+        ap[:] = tp
+        aq[:] = tq
+    # 2×2 diagonal block.
+    app = work[0, p]
+    apq = work[1, p]
+    aqq = work[0, q]
+    cc = c * c
+    ss = s * s
+    cs = c * s
+    work[0, p] = cc * app + 2.0 * cs * apq + ss * aqq
+    work[0, q] = ss * app - 2.0 * cs * apq + cc * aqq
+    work[1, p] = cs * (aqq - app) + (cc - ss) * apq
+    # Columns p and q below the block: A[i, p] / A[i, q], i in (q, p+wbw].
+    ihi = p + wbw
+    if ihi > n - 1:
+        ihi = n - 1
+    if ihi > q:
+        cp = work[2 : ihi - p + 1, p]
+        cq = work[1 : ihi - q + 1, q]
+        tp = c * cp + s * cq
+        tq = c * cq - s * cp
+        cp[:] = tp
+        cq[:] = tq
+
+
+def _rotate_scalar(wl: list, n: int, wbw: int, p: int, c: float, s: float) -> None:
+    """Scalar-arithmetic variant of :func:`_rotate` for small band-widths.
+
+    ``wl`` is the band as a list of per-diagonal Python lists; for wbw ≤ 4
+    each rotation touches ≤ a dozen scalars and plain float arithmetic beats
+    numpy's per-view overhead by ~3×.
+    """
+    q = p + 1
+    jlo = q - wbw
+    if jlo < 0:
+        jlo = 0
+    for j in range(jlo, p):
+        rp = wl[p - j]
+        rq = wl[q - j]
+        ap = rp[j]
+        aq = rq[j]
+        rp[j] = c * ap + s * aq
+        rq[j] = c * aq - s * ap
+    w0 = wl[0]
+    w1 = wl[1]
+    app = w0[p]
+    apq = w1[p]
+    aqq = w0[q]
+    cc = c * c
+    ss = s * s
+    cs = c * s
+    w0[p] = cc * app + 2.0 * cs * apq + ss * aqq
+    w0[q] = ss * app - 2.0 * cs * apq + cc * aqq
+    w1[p] = cs * (aqq - app) + (cc - ss) * apq
+    ihi = p + wbw
+    if ihi > n - 1:
+        ihi = n - 1
+    for i in range(q + 1, ihi + 1):
+        rp = wl[i - p]
+        rq = wl[i - q]
+        ap = rp[p]
+        aq = rq[q]
+        rp[p] = c * ap + s * aq
+        rq[q] = c * aq - s * ap
+
+
+def band_to_tridiagonal_storage(data: np.ndarray, b: int) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce band storage (shape (b+1, n)) to tridiagonal; returns (d, e).
+
+    The input is not modified.  Working memory is one (b+2)·n array — the
+    band plus a single bulge diagonal — instead of the dense path's n².
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] != b + 1:
+        raise ValueError(f"band storage must have shape (b+1, n), got {data.shape}")
+    n = data.shape[1]
+    if b <= 1:
+        d = data[0].copy()
+        e = data[1, : n - 1].copy() if b == 1 else np.zeros(max(0, n - 1))
+        return d, e
+    work = np.zeros((b + 2, n))
+    work[: b + 1] = data
+    flat = work.ravel()
+    # Lists-of-floats mirror of the band for the scalar fast path; kept in
+    # sync with ``work`` by converting at each band-width switch.
+    for wb in range(b, 1, -1):
+        wbw = wb + 1
+        scalar = wbw <= 5
+        if scalar:
+            wl = [list(map(float, work[d])) for d in range(wbw + 1)]
+        for j in range(n - wb):
+            t = wl[wb][j] if scalar else work[wb, j]
+            if t == 0.0:
+                continue
+            # Annihilate A[j+wb, j] with a rotation at rows (j+wb−1, j+wb).
+            k = j + wb
+            if scalar:
+                c, s = _givens(wl[wb - 1][j], t)
+                _rotate_scalar(wl, n, wbw, k - 1, c, s)
+                wl[wb][j] = 0.0
+            else:
+                c, s = _givens(work[wb - 1, j], t)
+                _rotate(work, flat, n, wbw, k - 1, c, s)
+                work[wb, j] = 0.0
+            # Chase the spilled bulge (distance wb+1) off the matrix.
+            pcol = k - 1
+            while pcol + wbw < n:
+                g = wl[wbw][pcol] if scalar else work[wbw, pcol]
+                if g == 0.0:
+                    break
+                r0 = pcol + wbw
+                if scalar:
+                    c, s = _givens(wl[wbw - 1][pcol], g)
+                    _rotate_scalar(wl, n, wbw, r0 - 1, c, s)
+                    wl[wbw][pcol] = 0.0
+                else:
+                    c, s = _givens(work[wbw - 1, pcol], g)
+                    _rotate(work, flat, n, wbw, r0 - 1, c, s)
+                    work[wbw, pcol] = 0.0
+                pcol = r0 - 1
+        if scalar:
+            for d in range(wbw + 1):
+                work[d] = wl[d]
+    return work[0].copy(), work[1, : n - 1].copy()

@@ -24,19 +24,20 @@ def householder_vector(x: np.ndarray) -> tuple[np.ndarray, float, float]:
     The sign of β is chosen opposite to ``x[0]`` (LAPACK's stable choice) so
     the subtraction ``x[0] − β`` never cancels.
     """
-    x = np.asarray(x, dtype=np.float64).ravel()
-    if x.size == 0:
+    v = np.array(x, dtype=np.float64).ravel()
+    if v.size == 0:
         raise ValueError("householder_vector requires a non-empty vector")
-    v = x.copy()
-    sigma = float(np.dot(x[1:], x[1:]))
+    x0 = v[0]
+    tail = v[1:]
+    sigma = float(np.dot(tail, tail))
     v[0] = 1.0
     if sigma == 0.0:
         # Already of the desired form; H = I (tau = 0).
-        return v, 0.0, float(x[0])
-    norm_x = np.sqrt(x[0] ** 2 + sigma)
-    beta = -norm_x if x[0] >= 0 else norm_x
-    v0 = x[0] - beta
-    v[1:] = x[1:] / v0
+        return v, 0.0, float(x0)
+    norm_x = np.sqrt(x0 ** 2 + sigma)
+    beta = -norm_x if x0 >= 0 else norm_x
+    v0 = x0 - beta
+    tail /= v0
     tau = -v0 / beta
     return v, float(tau), float(beta)
 
@@ -60,7 +61,7 @@ def compact_wy_qr(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         # Apply H_j to the trailing columns: A[j:, j:] -= tau v (vᵀ A[j:, j:])
         if tau != 0.0:
             w = tau * (v @ a[j:, j:])
-            a[j:, j:] -= np.outer(v, w)
+            a[j:, j:] -= v[:, None] * w
         a[j, j] = beta
         a[j + 1 :, j] = 0.0
         u[j:, j] = v
@@ -69,7 +70,9 @@ def compact_wy_qr(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
             z = u[j:, :j].T @ v
             t[:j, j] = -tau * (t[:j, :j] @ z)
         t[j, j] = tau
-    r = np.triu(a[:n, :n])
+    # the loop zeroed every below-diagonal entry, so the leading block IS
+    # upper triangular already — a plain copy equals np.triu bit-for-bit
+    r = a[:n, :n].copy()
     return u, t, r
 
 
@@ -94,7 +97,7 @@ def compact_wy_qr_general(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.nda
         v, tau, beta = householder_vector(a[j:, j])
         if tau != 0.0:
             w = tau * (v @ a[j:, j:])
-            a[j:, j:] -= np.outer(v, w)
+            a[j:, j:] -= v[:, None] * w
         a[j, j] = beta
         a[j + 1 :, j] = 0.0
         u[j:, j] = v
@@ -102,7 +105,9 @@ def compact_wy_qr_general(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.nda
             z = u[j:, :j].T @ v
             t[:j, j] = -tau * (t[:j, :j] @ z)
         t[j, j] = tau
-    return u, t, np.triu(a[:r, :])
+    # below-diagonal entries of the first r columns were zeroed in the loop
+    # and columns r: keep all their rows, so this equals np.triu(a[:r, :])
+    return u, t, a[:r, :].copy()
 
 
 def apply_block_reflector_left(

@@ -197,13 +197,72 @@ class TestSuite:
         baseline_path = Path(__file__).resolve().parents[1] / bench.BASELINE_NAME
         doc = bench.load_baseline(baseline_path)
         assert doc["pinned"] == bench.PINNED
-        assert set(doc["cases"]) == set(bench.CASES)
+        assert set(doc["cases"]) == set(bench.CASES) | {"scaling_exponents"}
         charging = doc["cases"]["charging_p512"]
         assert charging["speedup_vs_scalar"] >= bench.SPEEDUP_FLOOR
+        large = doc["cases"]["eig_n512_p256"]["cost"]
+        assert large["p"] == 256
+        scaling = doc["cases"]["scaling_exponents"]["cost"]
+        assert abs(scaling["W_exponent"] - 1.0) <= bench.W_EXPONENT_TOL
+        assert scaling["S_exponent"] <= 1.0 + bench.S_EXPONENT_SLACK
 
     def test_load_baseline_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="no benchmark baseline"):
             bench.load_baseline(tmp_path / "nope.json")
+
+    def test_unpinned_cases_are_skipped(self, monkeypatch):
+        """PINNED is the source of truth: dropping a case's inputs drops the
+        case (how tests and ad-hoc runs shrink the suite)."""
+        monkeypatch.setattr(bench, "PINNED", {"charging": {"p": 8, "iters": 2}})
+        results = bench.run_suite(repeats=1, log=lambda _msg: None)
+        assert set(results["cases"]) == {"charging_p512"}
+
+
+class TestScalingSuite:
+    def test_scaling_bandwidth_is_even_and_floored(self):
+        assert bench.scaling_bandwidth(512, 256, 2.0 / 3.0) % 2 == 0
+        assert bench.scaling_bandwidth(8, 4096, 0.9) == 4  # floor engages
+        # b approximates n/p^delta
+        n, p, delta = 384, 32, 2.0 / 3.0
+        assert abs(bench.scaling_bandwidth(n, p, delta) - n / p**delta) <= 1.0
+
+    def test_closed_forms_match_lemma(self):
+        w, s = bench.lemma_iv3_closed_forms(n=256, p=16, b=32, k=2, delta=0.5)
+        assert w == pytest.approx(256**1.5 * 32**0.5 / 16**0.5)
+        assert s == pytest.approx(2**0.5 * 256**0.5 * 16**0.5 / 32**0.5 * 4.0)
+
+    def test_fit_recovers_exact_power_law(self):
+        closed = [10.0, 100.0, 1000.0, 5000.0]
+        assert bench.fit_loglog_slope(closed, [3.0 * c for c in closed]) == pytest.approx(1.0)
+        assert bench.fit_loglog_slope(closed, [c**0.7 for c in closed]) == pytest.approx(0.7)
+
+    def test_scaling_point_engines_identical(self):
+        ra, _ = bench.run_scaling_point("array", 64, 8, 2.0 / 3.0)
+        rs, _ = bench.run_scaling_point("scalar", 64, 8, 2.0 / 3.0)
+        assert bench.report_mismatches(ra, rs) == []
+
+    def test_scaling_case_gates_exponents(self, monkeypatch):
+        """A tiny grid still fits W with unit slope; a sabotaged tolerance
+        turns the same measurements into a BenchError."""
+        small = dict(bench.PINNED)
+        small["scaling"] = {
+            "k": 2,
+            "seed": 3,
+            "grid": [
+                [96, 8, 2.0 / 3.0],
+                [192, 8, 2.0 / 3.0],
+                [128, 16, 2.0 / 3.0],
+                [256, 16, 2.0 / 3.0],
+            ],
+        }
+        monkeypatch.setattr(bench, "PINNED", small)
+        entry = bench.run_scaling_case(repeats=1)
+        assert abs(entry["cost"]["W_exponent"] - 1.0) <= bench.W_EXPONENT_TOL
+        assert entry["cost"]["S_exponent"] <= 1.0 + bench.S_EXPONENT_SLACK
+        assert len(entry["cost"]["W_measured"]) == 4
+        monkeypatch.setattr(bench, "W_EXPONENT_TOL", 0.0)
+        with pytest.raises(bench.BenchError, match="fitted W exponent"):
+            bench.run_scaling_case(repeats=1)
 
 
 class TestCLI:
