@@ -24,12 +24,14 @@ chaos    sweep seeded fault scenarios over the pinned eigensolve and
 serve-bench
          run the pinned seeded workload through the batched eigensolver
          service (machine pool + bin-packing scheduler + persistent
-         δ-autotuning cache): two passes (cold, then warm from the
-         persisted cache), byte-identity verification of every served
-         spectrum against single-shot solves, and a BENCH_serve.json
-         throughput/latency report; ``--check`` gates against a committed
-         baseline, ``--soak`` injects faults into the pool workers and
-         asserts graceful degradation (see docs/serving.md)
+         δ-autotuning cache): three passes (cold, warm from the persisted
+         cache, then EDF scheduling), byte-identity verification of every
+         served spectrum against single-shot solves, and a
+         BENCH_serve.json throughput/latency/SLO report; ``--check``
+         gates against a committed baseline, ``--soak`` runs a chaos
+         scenario (solver faults, flaky-machine, straggler, poison-job,
+         or crash/resume) and asserts never-silently-wrong, no-job-lost,
+         and determinism (see docs/serving.md)
 table1   print the paper's Table I, symbolically and evaluated at (n, p)
 figure1  print the Figure 1 structure diagram (Algorithm IV.1)
 figure2  print the Figure 2 pipeline diagram (Algorithm IV.2)
@@ -289,26 +291,46 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import bench as serve_bench
 
     if args.soak:
-        doc = serve_bench.run_soak(
-            jobs=args.soak_jobs,
-            scenario=args.faults,
-            fault_seed0=args.fault_seed0,
-            tol=args.tol,
-            workers=args.workers,
-        )
+        try:
+            doc = serve_bench.run_soak(
+                jobs=args.soak_jobs,
+                scenario=args.faults,
+                fault_seed0=args.fault_seed0,
+                tol=args.tol,
+                workers=args.workers,
+                journal_path=args.journal,
+            )
+        except (ValueError, bench.BenchError) as exc:
+            print(f"serve soak FAILED: {exc}", file=sys.stderr)
+            return 1
         out = serve_bench.write_serve_results(doc, args.soak_out)
         print(f"wrote {out}")
+        violations = []
         if doc["silent_wrong"]:
-            print(
-                f"serve soak FAILED: {len(doc['silent_wrong'])} job(s) returned "
-                "a silently wrong spectrum",
-                file=sys.stderr,
+            violations.append(
+                f"{len(doc['silent_wrong'])} job(s) returned a silently wrong spectrum"
             )
+        if not doc.get("no_job_lost", False):
+            violations.append(
+                "journal shows submitted jobs without a terminal disposition "
+                f"(missing: {doc.get('journal', {}).get('missing_terminals')})"
+            )
+        if not doc.get("deterministic", False):
+            violations.append(
+                "two same-seed runs produced different summaries"
+                if args.faults != "crash"
+                else "resumed run is not byte-identical to the uninterrupted run"
+            )
+        if violations:
+            print("serve soak FAILED:", file=sys.stderr)
+            for v in violations:
+                print(f"  - {v}", file=sys.stderr)
             return 1
         print(
-            f"serve soak invariant holds: {doc['ok']}/{doc['jobs']} ok "
-            f"({doc['degraded']} degraded), {doc['typed_errors']} typed errors, "
-            "0 silently wrong"
+            f"serve soak invariants hold: {doc['ok']}/{doc['jobs']} ok "
+            f"({doc['degraded']} degraded, {doc.get('shed', 0)} shed), "
+            f"{doc['typed_errors']} typed errors, 0 silently wrong, "
+            "no job lost, deterministic"
         )
         return 0
 
@@ -634,7 +656,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         default="chaos",
         metavar="SCENARIO",
-        help="fault scenario injected into pool workers during --soak",
+        help="chaos scenario of --soak: a solver-level fault scenario "
+        "(chaos, rank-failure, ...), a service-level one (flaky-machine, "
+        "straggler, poison-job), or crash (kill + journal resume)",
+    )
+    p_serve.add_argument(
+        "--journal",
+        type=Path,
+        default=Path("benchmarks") / "results" / "serve_journal.jsonl",
+        help="write-ahead job journal path of the soak run (the no-job-lost "
+        "evidence; uploaded as a nightly CI artifact)",
     )
     p_serve.add_argument(
         "--fault-seed0", type=int, default=0, help="first per-job fault seed of the soak"

@@ -11,6 +11,11 @@ package turns the repo's single-shot solver into a served system:
 :mod:`~repro.serve.planner`    per-shape regime routing: rank count + δ
 :mod:`~repro.serve.pool`       the fleet of simulated BSP machines
 :mod:`~repro.serve.scheduler`  simulated-time bin-packing dispatch
+:mod:`~repro.serve.resilience` SLO deadlines/EDF, retry ladder, machine
+                               quarantine, hedged dispatch, admission
+                               control — one deterministic event loop
+:mod:`~repro.serve.journal`    crash-safe write-ahead job journal
+                               (fsync'd JSONL, resume without recompute)
 :mod:`~repro.serve.service`    the request pipeline (plan → solve →
                                schedule), optional multiprocessing
 :mod:`~repro.serve.bench`      ``repro serve-bench`` + the CI gate
@@ -35,8 +40,21 @@ from repro.serve.cache import (
     cached_replan_delta,
     model_fingerprint,
 )
+from repro.serve.journal import JobJournal, read_journal
 from repro.serve.planner import Plan, candidate_ranks, plan_job
 from repro.serve.pool import MachinePool, PoolMachine
+from repro.serve.resilience import (
+    DISPOSITIONS,
+    SERVICE_SCENARIOS,
+    SLO_CLASSES,
+    AdmissionPolicy,
+    HedgePolicy,
+    QuarantinePolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    ServiceScenario,
+    run_resilient,
+)
 from repro.serve.scheduler import Schedule, ScheduledJob, schedule_jobs
 from repro.serve.service import (
     EigenService,
@@ -59,6 +77,18 @@ __all__ = [
     "cached_best_delta",
     "cached_replan_delta",
     "model_fingerprint",
+    "JobJournal",
+    "read_journal",
+    "DISPOSITIONS",
+    "SERVICE_SCENARIOS",
+    "SLO_CLASSES",
+    "AdmissionPolicy",
+    "HedgePolicy",
+    "QuarantinePolicy",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "ServiceScenario",
+    "run_resilient",
     "Plan",
     "candidate_ranks",
     "plan_job",

@@ -1,13 +1,17 @@
 """The ``repro serve-bench`` throughput benchmark and its CI gate.
 
-Two passes of the pinned seeded workload run through the service:
+Three passes of the pinned seeded workload run through the service:
 
 * **cold** — the persistent tuning cache starts absent: every distinct
   shape plans from scratch (in-pass repeats already hit);
 * **warm** — a *fresh* service instance reloads the cache file the cold
   pass persisted, demonstrating cross-process reuse: the plan hit rate
   must reach :data:`HIT_RATE_FLOOR` (the acceptance gate is ≥ 80%; with a
-  correct store it is 100%).
+  correct store it is 100%);
+* **edf** — the warm workload re-served under earliest-deadline-first
+  dispatch (``ResiliencePolicy(scheduling="edf")``): same plans, same
+  spectra, only the simulated queue order may differ — the SLO section
+  shows what deadline-aware dispatch buys the interactive class.
 
 The document written to ``benchmarks/results/BENCH_serve.json`` (and
 committed at the repo root as the baseline) carries, per pass: wall-clock
@@ -31,7 +35,10 @@ single-shot solve timed on both hosts) with the shared
 from __future__ import annotations
 
 import json
+import os
 import statistics
+import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Any, Callable
@@ -44,7 +51,9 @@ from repro.bsp.params import MachineParams
 from repro.eig import solve_by_name
 from repro.metrics.attainment import attainment_rollup
 from repro.serve.cache import TuningCache
+from repro.serve.journal import CRASH_AFTER_ENV, CRASH_EXIT_CODE, read_journal
 from repro.serve.pool import MachinePool
+from repro.serve.resilience import SERVICE_SCENARIOS, ResiliencePolicy
 from repro.serve.service import (
     EigenService,
     ServeReport,
@@ -92,8 +101,24 @@ PINNED: dict[str, Any] = {
 #: persistent store achieves 1.0)
 HIT_RATE_FLOOR = 0.8
 
-#: per-pass summary fields gated by exact equality (deterministic)
-EXACT_PASS_FIELDS = ("jobs", "ok", "errors", "degraded", "regimes", "sim", "sim_totals")
+#: per-pass summary fields gated by exact equality (deterministic).  The
+#: resilience and SLO sections are gate food too: retry/hedge/shed counts
+#: and per-class deadline hit rates are pure functions of the seeded
+#: workload, so any drift means the resilience layer changed behavior.
+EXACT_PASS_FIELDS = (
+    "jobs", "ok", "errors", "shed", "degraded", "regimes",
+    "sim", "sim_totals", "resilience", "slo",
+)
+
+#: summary fields that are wall-clock (the only non-deterministic ones)
+WALL_SUMMARY_FIELDS = ("wall_s", "jobs_per_s")
+
+
+def deterministic_summary(summary: dict[str, Any]) -> dict[str, Any]:
+    """A ServeReport summary with its wall-clock fields stripped — two
+    same-seed runs must agree on this dict *exactly* (the determinism
+    acceptance gate)."""
+    return {k: v for k, v in summary.items() if k not in WALL_SUMMARY_FIELDS}
 
 
 def pinned_workload(pinned: dict[str, Any] | None = None) -> Workload:
@@ -170,12 +195,16 @@ def run_serve_suite(
         "passes": {},
     }
 
+    #: pass → scheduling policy: "edf" re-serves the warm workload under
+    #: earliest-deadline-first dispatch (same plans, same spectra — only
+    #: the simulated queue order may differ)
     reports: dict[str, ServeReport] = {}
-    for label in ("cold", "warm"):
+    for label in ("cold", "warm", "edf"):
         pool = MachinePool(pool_cfg["machines"], pool_cfg["p"], params)
-        cache = TuningCache(cache_path)  # warm pass reloads the cold store
+        cache = TuningCache(cache_path)  # warm/edf passes reload the cold store
         service = EigenService(
-            pool, cache, algorithm=pinned["algorithm"], workers=workers
+            pool, cache, algorithm=pinned["algorithm"], workers=workers,
+            policy=ResiliencePolicy(scheduling="edf") if label == "edf" else None,
         )
         report = service.run_workload(workload)
         reports[label] = report
@@ -196,24 +225,29 @@ def run_serve_suite(
 
     log("verifying byte-identity of every served spectrum vs single-shot runs...")
     mismatches = verify_against_single_shot(reports["cold"].results, params)
-    warm_identical = all(
-        a.ok and b.ok
-        and a.eigenvalues is not None and b.eigenvalues is not None
-        and np.array_equal(a.eigenvalues, b.eigenvalues)
-        for a, b in zip(reports["cold"].results, reports["warm"].results)
-    )
+    identical = {
+        label: all(
+            a.ok and b.ok
+            and a.eigenvalues is not None and b.eigenvalues is not None
+            and np.array_equal(a.eigenvalues, b.eigenvalues)
+            for a, b in zip(reports["cold"].results, reports[label].results)
+        )
+        for label in ("warm", "edf")
+    }
     doc["verify"] = {
         "checked": reports["cold"].ok_jobs,
         "mismatches": mismatches,
-        "warm_identical": warm_identical,
+        "warm_identical": identical["warm"],
+        "identical": identical,
     }
     if mismatches:
         raise BenchError(
             "served eigenvalues diverged from single-shot solves:\n  "
             + "\n  ".join(mismatches[:5])
         )
-    if not warm_identical:
-        raise BenchError("warm-pass eigenvalues differ from the cold pass")
+    for label, same in identical.items():
+        if not same:
+            raise BenchError(f"{label}-pass eigenvalues differ from the cold pass")
 
     doc["attainment"] = attainment_rollup(
         r.attainment for r in reports["cold"].results
@@ -246,6 +280,9 @@ def check_serve(
         )
     if not verify.get("warm_identical", False):
         failures.append("warm-pass eigenvalues differ from the cold pass")
+    for label, same in verify.get("identical", {}).items():
+        if label != "warm" and not same:
+            failures.append(f"{label}-pass eigenvalues differ from the cold pass")
 
     warm = fresh.get("passes", {}).get("warm", {})
     hit_rate = warm.get("plan_hit_rate", 0.0)
@@ -291,7 +328,153 @@ def check_serve(
 
 
 # ------------------------------------------------------------------ #
-# soak (nightly): faults injected into pool workers
+# soak (nightly): solver- and service-level chaos scenarios
+
+DEFAULT_JOURNAL_PATH = Path("benchmarks") / "results" / "serve_journal.jsonl"
+
+
+def _soak_workload(jobs: int, seed: int):
+    return mixed_workload(total_jobs=jobs, seed=seed, scf_iterations=2)
+
+
+def _soak_service(
+    scenario: str | None,
+    journal: Path | None,
+    workers: int = 0,
+    fault_seed0: int = 0,
+) -> EigenService:
+    """One soak service instance on the pinned 2×16 pool.
+
+    ``scenario`` routes to the right injection layer: a service-level name
+    (:data:`~repro.serve.resilience.SERVICE_SCENARIOS`) configures the
+    resilient loop's chaos hooks; anything else is a solver-level fault
+    scenario installed on every pool worker (the PR 7 path); ``None`` runs
+    clean (the crash scenario — the only failure is the kill itself).
+    """
+    pool = MachinePool(2, 16, SERVE_PARAMS)
+    if scenario is not None and scenario in SERVICE_SCENARIOS:
+        return EigenService(
+            pool, TuningCache(), workers=workers,
+            scenario=scenario, fault_seed0=fault_seed0, journal=journal,
+        )
+    return EigenService(
+        pool, TuningCache(), workers=workers,
+        faults=scenario, fault_seed0=fault_seed0, journal=journal,
+    )
+
+
+def _silent_wrong(report: ServeReport, tol: float) -> list[dict[str, Any]]:
+    """Ok-status jobs whose spectrum misses the numpy reference — the
+    never-silently-wrong invariant's violation list (must be empty)."""
+    out: list[dict[str, Any]] = []
+    for r in report.results:
+        if not r.ok:
+            continue
+        a = random_symmetric(r.n, seed=r.seed)
+        err = reference_spectrum_error(a, r.eigenvalues)
+        if not err < tol:
+            out.append(
+                {"job_id": r.job_id, "n": r.n, "error": float(err), "degraded": r.degraded}
+            )
+    return out
+
+
+def crash_driver(
+    jobs: int, seed: int, journal_path: str, workers: int = 0
+) -> None:
+    """Subprocess entry point of the crash scenario: serve the pinned soak
+    workload against a journal with ``REPRO_SERVE_CRASH_AFTER`` armed, so
+    the process hard-exits mid-workload (``os._exit(70)``)."""
+    service = _soak_service(None, Path(journal_path), workers=workers)
+    service.run_workload(_soak_workload(jobs, seed))
+
+
+def run_crash_resume(
+    jobs: int = 48,
+    seed: int = 11,
+    journal_path: Path | str = DEFAULT_JOURNAL_PATH,
+    crash_after: int | None = None,
+    tol: float = 1e-6,
+    log: Callable[[str], None] = print,
+) -> dict[str, Any]:
+    """The mid-run-crash scenario: kill a serving subprocess, resume, compare.
+
+    1. Serve the workload uninterrupted (no journal) — the reference.
+    2. Spawn a subprocess serving the same workload against a journal with
+       the crash hook armed; it must die with :data:`CRASH_EXIT_CODE`.
+    3. Resume in this process against the journal; the resumed report must
+       be byte-identical to the reference (summary and spectra), and the
+       journal must show every submitted job with a terminal disposition.
+    """
+    journal_path = Path(journal_path)
+    journal_path.parent.mkdir(parents=True, exist_ok=True)
+    if journal_path.exists():
+        journal_path.unlink()
+    if crash_after is None:
+        # past the header + submit records and a handful of attempts:
+        # solidly mid-workload, well before the last terminal
+        crash_after = 1 + jobs + max(3, jobs // 4)
+
+    workload = _soak_workload(jobs, seed)
+    reference = _soak_service(None, None).run_workload(workload)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    env[CRASH_AFTER_ENV] = str(crash_after)
+    code = (
+        "from repro.serve.bench import crash_driver; "
+        f"crash_driver(jobs={jobs}, seed={seed}, journal_path={str(journal_path)!r})"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+    if proc.returncode != CRASH_EXIT_CODE:
+        raise BenchError(
+            f"crash subprocess exited {proc.returncode}, expected "
+            f"{CRASH_EXIT_CODE} (the injected crash): {proc.stderr[-500:]}"
+        )
+    interrupted = read_journal(journal_path)
+
+    resumed = _soak_service(None, journal_path).run_workload(workload)
+    summary_identical = deterministic_summary(
+        resumed.summary()
+    ) == deterministic_summary(reference.summary())
+    spectra_identical = all(
+        (a.eigenvalues is None) == (b.eigenvalues is None)
+        and (a.eigenvalues is None or np.array_equal(a.eigenvalues, b.eigenvalues))
+        for a, b in zip(reference.results, resumed.results)
+    )
+    jsum = read_journal(journal_path)
+    doc = {
+        "version": 2,
+        "scenario": "crash",
+        "jobs": resumed.jobs,
+        "ok": resumed.ok_jobs,
+        "typed_errors": resumed.error_jobs,
+        "degraded": sum(r.degraded for r in resumed.results),
+        "error_types": sorted({r.error_type for r in resumed.results if not r.ok}),
+        "crash_after_appends": crash_after,
+        "crash_exit": proc.returncode,
+        "journal_at_crash": interrupted,
+        "journal": jsum,
+        "resumed_summary_identical": summary_identical,
+        "resumed_spectra_identical": spectra_identical,
+        "deterministic": summary_identical and spectra_identical,
+        "no_job_lost": (
+            jsum["submitted"] == resumed.jobs and not jsum["missing_terminals"]
+        ),
+        "silent_wrong": _silent_wrong(resumed, tol),
+        "dispositions": resumed.schedule.dispositions(),
+        "resilience": resumed.resilience,
+        "slo": resumed.slo,
+    }
+    log(
+        f"soak[crash]: killed after {crash_after} journal appends "
+        f"({interrupted['attempts']} attempts journaled), resumed "
+        f"{doc['ok']}/{doc['jobs']} ok; summary identical: {summary_identical}, "
+        f"spectra identical: {spectra_identical}, no job lost: {doc['no_job_lost']}"
+    )
+    return doc
 
 
 def run_soak(
@@ -303,52 +486,85 @@ def run_soak(
     fault_seed0: int = 0,
     tol: float = 1e-6,
     workers: int = 0,
+    journal_path: Path | str = DEFAULT_JOURNAL_PATH,
     log: Callable[[str], None] = print,
 ) -> dict[str, Any]:
-    """Serve a workload with faults injected into every pool worker.
+    """Serve a workload under a chaos scenario and check the invariants.
 
-    The soak invariant extends the chaos invariant to the service: every
-    job either (a) returns a spectrum matching the numpy reference within
-    ``tol`` — via internal recovery or the service's degraded replicated
-    retry — or (b) surfaces a typed error result.  A job that returns a
-    *wrong* spectrum ("silent-wrong") fails the soak.
+    ``scenario`` is a solver-level fault scenario (``chaos``,
+    ``rank-failure``, ...: every pool worker injects faults), a
+    service-level scenario (``flaky-machine``, ``straggler``,
+    ``poison-job``: the resilient loop's chaos hooks), or ``crash``
+    (delegates to :func:`run_crash_resume`).  Three invariants gate:
+
+    * **never silently wrong** — every ok-status spectrum matches the
+      numpy reference within ``tol``;
+    * **no job lost** — every submitted job owns a journal terminal
+      record with a disposition in ``ok | degraded | shed | error``;
+    * **deterministic** — a second run of the same seeded config produces
+      an identical summary (wall-clock fields excluded).
     """
-    params = SERVE_PARAMS
-    workload = mixed_workload(total_jobs=jobs, seed=seed, scf_iterations=2)
-    pool = MachinePool(machines, machine_p, params)
-    service = EigenService(
-        pool, TuningCache(), workers=workers,
-        faults=scenario, fault_seed0=fault_seed0,
-    )
-    report = service.run_workload(workload)
-    silent_wrong: list[dict[str, Any]] = []
-    for r in report.results:
-        if not r.ok:
-            continue
-        a = random_symmetric(r.n, seed=r.seed)
-        err = reference_spectrum_error(a, r.eigenvalues)
-        if not err < tol:
-            silent_wrong.append(
-                {"job_id": r.job_id, "n": r.n, "error": float(err), "degraded": r.degraded}
+    if scenario == "crash":
+        return run_crash_resume(
+            jobs=jobs, seed=seed, journal_path=journal_path, tol=tol, log=log
+        )
+    if scenario not in SERVICE_SCENARIOS:
+        from repro.faults.plan import SCENARIOS
+
+        if scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown soak scenario {scenario!r}; choose a solver scenario "
+                f"{sorted(SCENARIOS)} or a service scenario "
+                f"{sorted(SERVICE_SCENARIOS) + ['crash']}"
             )
+    del machines, machine_p  # pinned by _soak_service (kept for API compat)
+
+    journal_path = Path(journal_path)
+    journal_path.parent.mkdir(parents=True, exist_ok=True)
+    if journal_path.exists():
+        journal_path.unlink()  # each soak run journals from scratch
+
+    workload = _soak_workload(jobs, seed)
+    report = _soak_service(
+        scenario, journal_path, workers=workers, fault_seed0=fault_seed0
+    ).run_workload(workload)
+    rerun = _soak_service(
+        scenario, None, workers=workers, fault_seed0=fault_seed0
+    ).run_workload(workload)
+    deterministic = deterministic_summary(report.summary()) == deterministic_summary(
+        rerun.summary()
+    )
+    silent_wrong = _silent_wrong(report, tol)
+    jsum = read_journal(journal_path)
     doc = {
-        "version": 1,
+        "version": 2,
         "scenario": scenario,
         "fault_seed0": fault_seed0,
         "tol": tol,
         "jobs": report.jobs,
         "ok": report.ok_jobs,
         "typed_errors": report.error_jobs,
+        "shed": report.shed_jobs,
         "degraded": sum(r.degraded for r in report.results),
         "error_types": sorted(
             {r.error_type for r in report.results if not r.ok}
         ),
         "silent_wrong": silent_wrong,
+        "dispositions": report.schedule.dispositions(),
+        "resilience": report.resilience,
+        "slo": report.slo,
+        "health": report.health,
+        "journal": jsum,
+        "no_job_lost": (
+            jsum["submitted"] == report.jobs and not jsum["missing_terminals"]
+        ),
+        "deterministic": deterministic,
     }
     log(
         f"soak[{scenario}]: {doc['ok']}/{doc['jobs']} ok "
-        f"({doc['degraded']} degraded to replicated), "
-        f"{doc['typed_errors']} typed errors, {len(silent_wrong)} silently wrong"
+        f"({doc['degraded']} degraded, {doc['shed']} shed), "
+        f"{doc['typed_errors']} typed errors, {len(silent_wrong)} silently wrong; "
+        f"no job lost: {doc['no_job_lost']}, deterministic: {deterministic}"
     )
     return doc
 

@@ -13,7 +13,7 @@ cost reports byte-identical to single-shot runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from repro.bsp.params import MachineParams
 
@@ -31,15 +31,37 @@ class PoolMachine:
 
 
 class MachinePool:
-    """A fleet of simulated machines with a shared parameter profile."""
+    """A fleet of simulated machines with a shared parameter profile.
 
-    def __init__(self, machines: int, p: int, params: MachineParams | None = None):
+    ``ranks`` overrides the uniform ``p`` with an explicit per-machine
+    rank count — a heterogeneous fleet, which the resilience layer's
+    quarantine tests use to pin work onto (or away from) one machine.
+    """
+
+    def __init__(
+        self,
+        machines: int,
+        p: int,
+        params: MachineParams | None = None,
+        ranks: Sequence[int] | None = None,
+    ):
         if machines < 1:
             raise ValueError(f"pool needs >= 1 machine, got {machines}")
-        if p < 1:
-            raise ValueError(f"pool machines need >= 1 rank, got {p}")
+        per_machine = list(ranks) if ranks is not None else [p] * machines
+        if len(per_machine) != machines:
+            raise ValueError(
+                f"ranks lists {len(per_machine)} machines, expected {machines}"
+            )
+        if any(r < 1 for r in per_machine):
+            raise ValueError(f"pool machines need >= 1 rank, got {min(per_machine)}")
         self.params = params or MachineParams()
-        self.machines = [PoolMachine(i, p, self.params) for i in range(machines)]
+        self.machines = [
+            PoolMachine(i, r, self.params) for i, r in enumerate(per_machine)
+        ]
+
+    def machine(self, machine_id: int) -> PoolMachine:
+        """Look up one machine by id (ids are dense, 0-based)."""
+        return self.machines[machine_id]
 
     @property
     def total_ranks(self) -> int:
@@ -61,4 +83,5 @@ class MachinePool:
             "machines": len(self.machines),
             "p": self.max_ranks,
             "total_ranks": self.total_ranks,
+            "ranks": [m.p for m in self.machines],
         }

@@ -1,0 +1,858 @@
+"""Service-level resilience: deadlines, retries, quarantine, hedging, shedding.
+
+PR 7's service was fragile in exactly the ways a production eigensolver
+front-end cannot be: a faulted job got one hard-coded replicated retry
+(and only when fault injection happened to be configured), flaky machines
+kept receiving work, overload meant unbounded queueing, and nothing
+survived a service crash.  This module supplies the missing mechanisms as
+*policies* plus one simulated-time event loop that enforces them:
+
+* **SLO classes / deadlines** — every :class:`~repro.serve.workload.JobSpec`
+  carries an SLO class name; :data:`SLO_CLASSES` maps it to a relative
+  deadline budget in simulated BSP time.  Deadlines are *measured* (the
+  report carries per-class hit rates) and, under ``scheduling="edf"``,
+  *enforced as priority*: the dispatch scan orders the ready queue by
+  absolute deadline (earliest-deadline-first) instead of arrival.
+* **Retry budget + escalation ladder** — a failed attempt is retried on a
+  seeded exponential-backoff timer (deterministic jitter, never wall
+  clock) up to ``RetryPolicy.budget`` extra attempts, escalating
+  same-plan retry → grid-shrink replan (through the tuning cache) →
+  replicated single-rank solve.  The ladder runs whether or not fault
+  injection is configured: any typed error outcome triggers it.
+* **Machine health / quarantine** — a per-machine circuit breaker fed by
+  attempt outcomes.  ``failure_threshold`` consecutive failures open the
+  breaker (the machine drains: running attempts finish, no new placements);
+  after a simulated cooldown it goes half-open and re-admits exactly one
+  *probe* attempt — success closes the breaker, failure re-opens it with a
+  doubled cooldown.
+* **Hedged dispatch** — an attempt whose simulated service time exceeds
+  the running percentile of completed attempt times is shadowed by a
+  speculative duplicate launched once the threshold elapses.  First
+  result wins; the loser runs to completion and is charged (visible
+  resilience overhead, never hidden).  Byte-identity is preserved by
+  construction: the same ``(seed, p, δ)`` produces the same spectrum.
+* **Admission control** — a bounded ready queue: an arrival that finds
+  ``queue_limit`` jobs already waiting is *shed* with a typed terminal
+  disposition instead of queueing without bound.
+
+Every decision is a pure function of the simulated clock and seeded
+draws, so two runs of the same workload + scenario produce identical
+reports — which is what lets the chaos scenarios here
+(:data:`SERVICE_SCENARIOS`: flaky-machine, straggler, poison-job) be CI
+gates rather than flaky wall-clock tests.  The loop guarantees **no job
+lost**: every submitted job reaches exactly one terminal disposition in
+``ok | degraded | shed | error``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import heapq
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.serve.pool import MachinePool
+from repro.serve.scheduler import Schedule, ScheduledJob
+
+#: terminal dispositions a job can reach (the no-job-lost invariant says
+#: every submitted job reaches exactly one of these)
+DISPOSITIONS = ("ok", "degraded", "shed", "error")
+
+
+# ------------------------------------------------------------------ #
+# deterministic draws (no wall clock, no shared RNG state)
+
+
+def _hash01(*keys: int) -> float:
+    """A seeded uniform draw in [0, 1) from integer keys (FNV-1a).
+
+    Pure integer arithmetic — identical on every host and independent of
+    call order, unlike a shared RNG stream.
+    """
+    h = 0xCBF29CE484222325
+    for k in keys:
+        for byte in int(k).to_bytes(8, "little", signed=True):
+            h = ((h ^ byte) * 0x100000001B3) % (2**64)
+    return (h >> 11) / float(2**53)
+
+
+# ------------------------------------------------------------------ #
+# SLO classes
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One service-level objective: a relative deadline budget.
+
+    ``deadline`` is in simulated BSP time units (the units of
+    :meth:`repro.bsp.params.MachineParams.time`); a job's absolute
+    deadline is ``arrival + deadline``.  ``inf`` means measured-only.
+    """
+
+    name: str
+    deadline: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "deadline": self.deadline}
+
+
+#: the shipped SLO menu.  Budgets are calibrated against the pinned
+#: serve-bench profile (sim latency p50 ≈ 2e5, p99 ≈ 1e7): "interactive"
+#: is hittable for the small-n bulk but missed by queued heavy tails,
+#: "batch" only by pathological stragglers, "best-effort" never.
+SLO_CLASSES: dict[str, SLOClass] = {
+    "interactive": SLOClass("interactive", 1.5e6),
+    "batch": SLOClass("batch", 3.0e7),
+    "best-effort": SLOClass("best-effort", math.inf),
+}
+
+DEFAULT_SLO = "batch"
+
+
+def deadline_for(slo: str, arrival: float) -> float:
+    """Absolute deadline of a job with SLO class ``slo`` arriving at ``arrival``."""
+    cls = SLO_CLASSES.get(slo, SLO_CLASSES[DEFAULT_SLO])
+    return arrival + cls.deadline
+
+
+# ------------------------------------------------------------------ #
+# policies
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and seeded exponential backoff for failed attempts.
+
+    ``budget`` extra attempts follow the escalation ladder (same plan →
+    grid-shrink → replicated).  The k-th retry waits
+    ``backoff_base * backoff_factor**(k-1)`` simulated time units, scaled
+    by ``1 + jitter * u`` where u is a deterministic per-(job, attempt)
+    draw — decorrelated like production backoff, reproducible like a test.
+    """
+
+    budget: int = 3
+    backoff_base: float = 2.0e4
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+
+    def delay(self, job_id: int, attempt: int) -> float:
+        base = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
+        return base * (1.0 + self.jitter * _hash01(job_id, attempt, 0xB0FF))
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Speculative duplicates for straggling attempts.
+
+    An attempt whose simulated service time exceeds the nearest-rank
+    ``percentile`` of completed attempt times (once ``min_observations``
+    have completed) gets a duplicate enqueued at ``start + threshold`` —
+    the moment the service would *notice* the straggle.  ``max_hedges``
+    bounds the speculative budget per workload.
+    """
+
+    enabled: bool = True
+    percentile: float = 95.0
+    min_observations: int = 32
+    max_hedges: int = 16
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """Per-machine circuit breaker: open after ``failure_threshold``
+    consecutive failures, half-open after ``cooldown`` simulated time, and
+    re-open with ``cooldown_factor``-scaled cooldown on a failed probe."""
+
+    enabled: bool = True
+    failure_threshold: int = 3
+    cooldown: float = 5.0e5
+    cooldown_factor: float = 2.0
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounded admission: an arrival finding ``queue_limit`` jobs already
+    queued is shed (typed ``shed`` disposition).  0 disables the bound."""
+
+    queue_limit: int = 0
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The full resilience configuration of one service instance."""
+
+    retry: RetryPolicy = RetryPolicy()
+    hedge: HedgePolicy = HedgePolicy()
+    quarantine: QuarantinePolicy = QuarantinePolicy()
+    admission: AdmissionPolicy = AdmissionPolicy()
+    scheduling: str = "fifo"  # "fifo" | "edf"
+
+    def __post_init__(self) -> None:
+        if self.scheduling not in ("fifo", "edf"):
+            raise ValueError(
+                f"scheduling must be 'fifo' or 'edf', got {self.scheduling!r}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Stable digest for journal binding: resuming under a different
+        policy must be rejected, not silently blended."""
+        blob = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+DEFAULT_POLICY = ResiliencePolicy()
+
+
+# ------------------------------------------------------------------ #
+# service-level chaos scenarios
+
+
+@dataclass(frozen=True)
+class ServiceScenario:
+    """A seeded service-level failure mode (distinct from the solver-level
+    :data:`repro.faults.plan.SCENARIOS`, which corrupt a single solve).
+
+    * ``flaky_machines`` — attempts placed on the lowest-id machines of
+      the pool fail with a typed error with probability ``flaky_rate``
+      (a bad node: thermal throttling, a sick NIC — the cause doesn't
+      matter, the breaker only sees outcomes); healthy machines stay
+      clean, so the same retry landing elsewhere succeeds.  This is what
+      the quarantine breaker exists to drain.
+    * ``straggler_rate`` / ``straggler_factor`` — a seeded fraction of
+      attempts take ``factor`` times their modeled service time (slow
+      node, contention); the spectrum is untouched.  This is what hedged
+      dispatch exists to cut.
+    * ``poison_rate`` — a seeded fraction of jobs fail *every* attempt
+      with a typed error (a request that trips a bug wherever it runs);
+      the retry ladder must exhaust and surface ``error``, never loop.
+    """
+
+    name: str
+    flaky_machines: int = 0
+    flaky_rate: float = 0.9
+    straggler_rate: float = 0.0
+    straggler_factor: float = 8.0
+    poison_rate: float = 0.0
+    seed: int = 0
+
+    def is_poison(self, job_id: int) -> bool:
+        return self.poison_rate > 0 and _hash01(self.seed, job_id, 0x101) < self.poison_rate
+
+    def is_straggler(self, job_id: int, attempt: int) -> bool:
+        return (
+            self.straggler_rate > 0
+            and _hash01(self.seed, job_id, attempt, 0x202) < self.straggler_rate
+        )
+
+    def is_flaky_attempt(self, machine_id: int, job_id: int, attempt: int) -> bool:
+        if machine_id >= self.flaky_machines:
+            return False
+        return _hash01(self.seed, machine_id, job_id, attempt, 0x303) < self.flaky_rate
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+#: the chaos harness's service-level scenario menu (``repro serve-bench
+#: --soak --faults <name>`` and the nightly matrix run these)
+SERVICE_SCENARIOS: dict[str, ServiceScenario] = {
+    "flaky-machine": ServiceScenario(name="flaky-machine", flaky_machines=1),
+    "straggler": ServiceScenario(
+        name="straggler", straggler_rate=0.15, straggler_factor=8.0
+    ),
+    "poison-job": ServiceScenario(name="poison-job", poison_rate=0.08),
+}
+
+
+# ------------------------------------------------------------------ #
+# machine health (circuit breaker)
+
+
+@dataclass
+class MachineHealth:
+    """Breaker state of one pool machine, fed by attempt outcomes."""
+
+    machine_id: int
+    cooldown: float
+    state: str = "closed"  # "closed" | "open" | "half-open"
+    consecutive_failures: int = 0
+    probe_in_flight: bool = False
+    quarantines: int = 0
+    probes: int = 0
+    failures: int = 0
+    successes: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "machine_id": self.machine_id,
+            "state": self.state,
+            "quarantines": self.quarantines,
+            "probes": self.probes,
+            "failures": self.failures,
+            "successes": self.successes,
+        }
+
+
+# ------------------------------------------------------------------ #
+# loop inputs and outputs
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One job as the resilient loop sees it (matrix data stays outside)."""
+
+    job_id: int
+    arrival: float
+    slo: str = DEFAULT_SLO
+
+    @property
+    def deadline(self) -> float:
+        return deadline_for(self.slo, self.arrival)
+
+
+@dataclass
+class AttemptOutcome:
+    """What one executed attempt produced, in simulated terms.
+
+    ``payload`` carries whatever the caller needs to build its final
+    result (eigenvalues, cost dict, error text) — the loop only reads
+    ``ok``, ``service_time`` and ``sim_cost``.
+    """
+
+    ok: bool
+    service_time: float
+    sim_cost: dict[str, float] = field(default_factory=dict)
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One step of the escalation ladder: the plan an attempt runs under."""
+
+    p: int
+    delta: float
+    kind: str = "primary"  # "primary" | "same-plan" | "grid-shrink" | "replicated"
+
+
+@dataclass
+class Trial:
+    """One executed attempt (primary, retry, hedge, or probe)."""
+
+    job_id: int
+    attempt: int
+    kind: str  # "primary" | "retry" | "hedge"
+    rung: Rung
+    machine_id: int
+    start: float
+    finish: float
+    ok: bool
+    probe: bool = False
+    winner: bool = False
+    outcome: AttemptOutcome | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "rung": self.rung.kind,
+            "p": self.rung.p,
+            "machine_id": self.machine_id,
+            "start": self.start,
+            "finish": self.finish,
+            "ok": self.ok,
+            "probe": self.probe,
+            "winner": self.winner,
+        }
+
+
+@dataclass
+class JobVerdict:
+    """Terminal state of one job: exactly one per submitted job."""
+
+    job_id: int
+    disposition: str  # see DISPOSITIONS
+    arrival: float
+    start: float
+    finish: float
+    slo: str
+    deadline: float
+    rung: Rung | None
+    machine_id: int
+    attempts: int
+    retries: int
+    hedged: bool
+    outcome: AttemptOutcome | None
+
+    @property
+    def deadline_hit(self) -> bool:
+        if self.disposition == "shed":
+            return False
+        return self.finish <= self.deadline
+
+
+@dataclass
+class ResilienceStats:
+    """Deterministic counters of one resilient run (report/gate food)."""
+
+    dispositions: dict[str, int] = field(
+        default_factory=lambda: {d: 0 for d in DISPOSITIONS}
+    )
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    shed: int = 0
+    quarantines: int = 0
+    probes: int = 0
+    trials: int = 0
+    charged: dict[str, float] = field(
+        default_factory=lambda: {
+            "flops": 0.0, "words": 0.0, "mem_traffic": 0.0,
+            "supersteps": 0.0, "service_time": 0.0,
+        }
+    )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "dispositions": dict(self.dispositions),
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "shed": self.shed,
+            "quarantines": self.quarantines,
+            "probes": self.probes,
+            "trials": self.trials,
+            "charged": dict(self.charged),
+        }
+
+
+def slo_summary(verdicts: Sequence[JobVerdict]) -> dict[str, Any]:
+    """Per-SLO-class deadline hit rates over a run's terminal verdicts."""
+    out: dict[str, Any] = {}
+    for v in sorted(verdicts, key=lambda v: v.job_id):
+        cls = SLO_CLASSES.get(v.slo, SLO_CLASSES[DEFAULT_SLO])
+        entry = out.setdefault(
+            v.slo, {"deadline": cls.deadline, "jobs": 0, "deadline_hits": 0}
+        )
+        entry["jobs"] += 1
+        entry["deadline_hits"] += int(v.deadline_hit)
+    for entry in out.values():
+        entry["hit_rate"] = (
+            entry["deadline_hits"] / entry["jobs"] if entry["jobs"] else 0.0
+        )
+    return dict(sorted(out.items()))
+
+
+# ------------------------------------------------------------------ #
+# the resilient event loop
+
+
+@dataclass
+class ResilientRun:
+    """Everything the loop produced: verdicts, trials, schedule, stats."""
+
+    verdicts: dict[int, JobVerdict]
+    trials: list[Trial]
+    schedule: Schedule
+    stats: ResilienceStats
+    health: list[dict[str, Any]]
+
+
+class _JobState:
+    __slots__ = (
+        "job", "failures", "in_flight", "verdict", "hedge_launched",
+        "first_start", "trial_count",
+    )
+
+    def __init__(self, job: SimJob):
+        self.job = job
+        self.failures = 0
+        self.in_flight: set[int] = set()  # trial indices still running
+        self.verdict: JobVerdict | None = None
+        self.hedge_launched = False
+        self.first_start = math.inf
+        self.trial_count = 0
+
+
+def run_resilient(
+    jobs: Sequence[SimJob],
+    pool: MachinePool,
+    rung_for: Callable[[int, int], Rung | None],
+    outcome_for: Callable[[int, Rung, int, int], AttemptOutcome],
+    policy: ResiliencePolicy = DEFAULT_POLICY,
+    on_terminal: Callable[[JobVerdict], None] | None = None,
+) -> ResilientRun:
+    """Drive every job to a terminal disposition in exact simulated time.
+
+    ``rung_for(job_id, failures)`` maps a job's failure count to the
+    escalation-ladder plan of its next attempt (``None`` = budget
+    exhausted → terminal ``error``).  ``outcome_for(job_id, rung,
+    attempt, machine_id)`` executes one attempt — it may run a real
+    (memoized) solve, so the *loop* is where wall-clock work happens, but
+    no wall-clock value ever enters a decision.  ``on_terminal`` fires
+    exactly once per job, in simulated-completion order — the journal's
+    write-ahead hook.
+
+    Dispatch preserves PR 7's semantics on the happy path: FIFO scan with
+    backfill, best-fit placement (fewest free ranks that still fit, ties
+    to the lowest machine id).  Under ``policy.scheduling == "edf"`` the
+    scan order is (deadline, arrival, job_id) instead of (arrival,
+    job_id).
+    """
+    order = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+    states = {j.job_id: _JobState(j) for j in order}
+    if len(states) != len(order):
+        raise ValueError("duplicate job ids in resilient workload")
+
+    free = {m.machine_id: m.p for m in pool}
+    health = {
+        m.machine_id: MachineHealth(m.machine_id, cooldown=policy.quarantine.cooldown)
+        for m in pool
+    }
+    stats = ResilienceStats()
+    trials: list[Trial] = []
+    #: completed attempt service times, kept sorted for the hedge percentile
+    completed_services: list[float] = []
+    running: list[tuple[float, int, int]] = []  # (finish, seq, trial_idx)
+    timers: list[tuple[float, int, str, int]] = []  # (time, seq, kind, job/machine)
+    ready: list[tuple[int, int, str, Rung]] = []  # (seq, job_id, kind, rung)
+    seq = 0
+    i = 0  # next arrival
+    now = order[0].arrival if order else 0.0
+
+    def settle(job_id: int, verdict: JobVerdict) -> None:
+        states[job_id].verdict = verdict
+        stats.dispositions[verdict.disposition] += 1
+        if on_terminal is not None:
+            on_terminal(verdict)
+
+    def hedge_threshold() -> float | None:
+        if (
+            not policy.hedge.enabled
+            or len(completed_services) < policy.hedge.min_observations
+        ):
+            return None
+        k = max(
+            0,
+            min(
+                len(completed_services) - 1,
+                math.ceil(policy.hedge.percentile / 100.0 * len(completed_services)) - 1,
+            ),
+        )
+        return completed_services[k]
+
+    def feed_health(machine_id: int, ok: bool) -> None:
+        nonlocal seq
+        h = health[machine_id]
+        if ok:
+            h.successes += 1
+            if h.state == "half-open":
+                h.state = "closed"
+                h.cooldown = policy.quarantine.cooldown
+            h.consecutive_failures = 0
+            return
+        h.failures += 1
+        if not policy.quarantine.enabled:
+            return
+        if h.state == "half-open":
+            # the probe failed: re-open with a longer cooldown
+            h.state = "open"
+            h.cooldown *= policy.quarantine.cooldown_factor
+            h.quarantines += 1
+            stats.quarantines += 1
+            seq += 1
+            heapq.heappush(timers, (now + h.cooldown, seq, "probe-open", machine_id))
+        elif h.state == "closed":
+            h.consecutive_failures += 1
+            if h.consecutive_failures >= policy.quarantine.failure_threshold:
+                h.state = "open"
+                h.quarantines += 1
+                stats.quarantines += 1
+                seq += 1
+                heapq.heappush(
+                    timers, (now + h.cooldown, seq, "probe-open", machine_id)
+                )
+
+    def finish_trial(idx: int) -> None:
+        nonlocal seq
+        trial = trials[idx]
+        free[trial.machine_id] += trial.rung.p
+        st = states[trial.job_id]
+        st.in_flight.discard(idx)
+        if trial.probe:
+            health[trial.machine_id].probe_in_flight = False
+        feed_health(trial.machine_id, trial.ok)
+        assert trial.outcome is not None
+        bisect.insort(completed_services, trial.outcome.service_time)
+        if st.verdict is not None:
+            return  # a duplicate finishing after the job settled
+        if trial.ok:
+            trial.winner = True
+            if trial.kind == "hedge":
+                stats.hedge_wins += 1
+            disposition = "ok" if trial.rung.kind in ("primary", "same-plan") else "degraded"
+            settle(
+                trial.job_id,
+                JobVerdict(
+                    job_id=trial.job_id,
+                    disposition=disposition,
+                    arrival=st.job.arrival,
+                    start=st.first_start,
+                    finish=trial.finish,
+                    slo=st.job.slo,
+                    deadline=st.job.deadline,
+                    rung=trial.rung,
+                    machine_id=trial.machine_id,
+                    attempts=st.trial_count,
+                    retries=st.failures,
+                    hedged=st.hedge_launched,
+                    outcome=trial.outcome,
+                ),
+            )
+            return
+        st.failures += 1
+        if st.in_flight:
+            return  # a duplicate is still running; let it race the ladder
+        rung = (
+            rung_for(trial.job_id, st.failures)
+            if st.failures <= policy.retry.budget
+            else None
+        )
+        if rung is None:
+            settle(
+                trial.job_id,
+                JobVerdict(
+                    job_id=trial.job_id,
+                    disposition="error",
+                    arrival=st.job.arrival,
+                    start=st.first_start,
+                    finish=trial.finish,
+                    slo=st.job.slo,
+                    deadline=st.job.deadline,
+                    rung=trial.rung,
+                    machine_id=trial.machine_id,
+                    attempts=st.trial_count,
+                    retries=st.failures - 1,
+                    hedged=st.hedge_launched,
+                    outcome=trial.outcome,
+                ),
+            )
+            return
+        seq += 1
+        heapq.heappush(
+            timers,
+            (now + policy.retry.delay(trial.job_id, st.failures), seq, "retry", trial.job_id),
+        )
+
+    def handle_timer(kind: str, key: int) -> None:
+        nonlocal seq
+        if kind == "probe-open":
+            if health[key].state == "open":
+                health[key].state = "half-open"
+            return
+        st = states[key]
+        if st.verdict is not None:
+            return
+        if kind == "retry":
+            rung = rung_for(key, st.failures)
+            if rung is None:  # ladder dried up between scheduling and firing
+                return
+            stats.retries += 1
+            seq += 1
+            ready.append((seq, key, "retry", rung))
+        elif kind == "hedge":
+            if not st.in_flight or st.hedge_launched:
+                return  # already finished, or already hedged
+            if stats.hedges >= policy.hedge.max_hedges:
+                return
+            running_trial = trials[min(st.in_flight)]
+            st.hedge_launched = True
+            stats.hedges += 1
+            seq += 1
+            ready.append((seq, key, "hedge", running_trial.rung))
+
+    def admit(job: SimJob) -> None:
+        nonlocal seq
+        limit = policy.admission.queue_limit
+        if limit > 0 and len(ready) >= limit:
+            stats.shed += 1
+            settle(
+                job.job_id,
+                JobVerdict(
+                    job_id=job.job_id,
+                    disposition="shed",
+                    arrival=job.arrival,
+                    start=job.arrival,
+                    finish=job.arrival,
+                    slo=job.slo,
+                    deadline=job.deadline,
+                    rung=None,
+                    machine_id=-1,
+                    attempts=0,
+                    retries=0,
+                    hedged=False,
+                    outcome=None,
+                ),
+            )
+            return
+        rung = rung_for(job.job_id, 0)
+        if rung is None:
+            raise ValueError(f"job {job.job_id}: no primary plan")
+        seq += 1
+        ready.append((seq, job.job_id, "primary", rung))
+
+    def queue_key(entry: tuple[int, int, str, Rung]) -> tuple:
+        entry_seq, job_id, _, _ = entry
+        job = states[job_id].job
+        if policy.scheduling == "edf":
+            return (job.deadline, job.arrival, job_id, entry_seq)
+        return (job.arrival, job_id, entry_seq)
+
+    def eligible_machine(p: int, exclude: set[int]) -> tuple[int | None, bool]:
+        """Best-fit machine for ``p`` ranks honoring breaker state.
+
+        Returns ``(machine_id, is_probe)``; half-open machines take one
+        probe attempt at a time and only when no closed machine fits.
+        """
+        best: int | None = None
+        for m in pool:
+            h = health[m.machine_id]
+            if h.state != "closed" or m.machine_id in exclude:
+                continue
+            f = free[m.machine_id]
+            if f >= p and (best is None or f < free[best]):
+                best = m.machine_id
+        if best is not None:
+            return best, False
+        for m in pool:
+            h = health[m.machine_id]
+            if h.state != "half-open" or h.probe_in_flight or m.machine_id in exclude:
+                continue
+            f = free[m.machine_id]
+            if f >= p and (best is None or f < free[best]):
+                best = m.machine_id
+        return best, best is not None
+
+    def dispatch() -> None:
+        nonlocal seq, ready
+        remaining: list[tuple[int, int, str, Rung]] = []
+        for entry in sorted(ready, key=queue_key):
+            entry_seq, job_id, kind, rung = entry
+            st = states[job_id]
+            if st.verdict is not None:
+                continue  # e.g. a hedge whose job already settled
+            exclude = {trials[t].machine_id for t in st.in_flight}
+            machine_id, probe = eligible_machine(rung.p, exclude)
+            if machine_id is None and exclude:
+                # a duplicate may share the straggler's machine rather than wait
+                machine_id, probe = eligible_machine(rung.p, set())
+            if machine_id is None:
+                remaining.append(entry)
+                continue
+            attempt = st.trial_count
+            st.trial_count += 1
+            outcome = outcome_for(job_id, rung, attempt, machine_id)
+            free[machine_id] -= rung.p
+            finish = now + outcome.service_time
+            idx = len(trials)
+            trials.append(
+                Trial(
+                    job_id=job_id,
+                    attempt=attempt,
+                    kind=kind,
+                    rung=rung,
+                    machine_id=machine_id,
+                    start=now,
+                    finish=finish,
+                    ok=outcome.ok,
+                    probe=probe,
+                    outcome=outcome,
+                )
+            )
+            st.in_flight.add(idx)
+            st.first_start = min(st.first_start, now)
+            stats.trials += 1
+            for fld in ("flops", "words", "mem_traffic", "supersteps"):
+                stats.charged[fld] += outcome.sim_cost.get(fld, 0.0)
+            stats.charged["service_time"] += outcome.service_time
+            if probe:
+                h = health[machine_id]
+                h.probe_in_flight = True
+                h.probes += 1
+                stats.probes += 1
+            seq += 1
+            heapq.heappush(running, (finish, seq, idx))
+            if kind != "hedge" and not st.hedge_launched:
+                tau = hedge_threshold()
+                if tau is not None and outcome.service_time > tau:
+                    seq += 1
+                    heapq.heappush(timers, (now + tau, seq, "hedge", job_id))
+        ready = remaining
+
+    while i < len(order) or ready or running or timers:
+        next_arrival = order[i].arrival if i < len(order) else math.inf
+        next_finish = running[0][0] if running else math.inf
+        next_timer = timers[0][0] if timers else math.inf
+        now = min(next_arrival, next_finish, next_timer)
+        if math.isinf(now):
+            stuck = [e[1] for e in ready]
+            raise RuntimeError(
+                f"resilient loop stalled with jobs {stuck} queued and no "
+                "running work, arrivals, or timers (planner/pool mismatch?)"
+            )
+        while running and running[0][0] <= now:
+            _, _, idx = heapq.heappop(running)
+            finish_trial(idx)
+        while timers and timers[0][0] <= now:
+            _, _, kind, key = heapq.heappop(timers)
+            handle_timer(kind, key)
+        while i < len(order) and order[i].arrival <= now:
+            admit(order[i])
+            i += 1
+        dispatch()
+
+    verdicts = {job_id: st.verdict for job_id, st in states.items()}
+    missing = [job_id for job_id, v in verdicts.items() if v is None]
+    if missing:  # the no-job-lost invariant, enforced structurally
+        raise RuntimeError(f"jobs {sorted(missing)} never reached a terminal disposition")
+
+    rows = [
+        ScheduledJob(
+            job_id=v.job_id,
+            machine_id=v.machine_id,
+            p=v.rung.p if v.rung is not None else 0,
+            arrival=v.arrival,
+            start=v.start if math.isfinite(v.start) else v.arrival,
+            finish=v.finish,
+            disposition=v.disposition,
+            attempts=v.attempts,
+            hedged=v.hedged,
+        )
+        for v in sorted(
+            (v for v in verdicts.values() if v is not None), key=lambda v: v.job_id
+        )
+    ]
+    busy = sum(t.rung.p * (t.finish - t.start) for t in trials)
+    if rows:
+        t0 = min(r.arrival for r in rows)
+        t1 = max([r.finish for r in rows] + [t.finish for t in trials])
+        makespan = t1 - t0
+    else:
+        makespan = 0.0
+    util = busy / (pool.total_ranks * makespan) if makespan > 0 else 0.0
+    schedule = Schedule(
+        jobs=rows, makespan=makespan, utilization=util, busy_rank_time=busy
+    )
+    return ResilientRun(
+        verdicts={j: v for j, v in verdicts.items() if v is not None},
+        trials=trials,
+        schedule=schedule,
+        stats=stats,
+        health=[health[m.machine_id].as_dict() for m in pool],
+    )

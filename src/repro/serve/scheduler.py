@@ -21,10 +21,22 @@ Policy (FIFO with backfill, best-fit placement):
 Starvation cannot persist: a job that fits an *empty* machine is started
 no later than the first instant one of them drains, and every queue scan
 considers the oldest job first.
+
+Beside FIFO, ``policy="edf"`` orders every queue scan by absolute
+deadline (earliest-deadline-first) instead of arrival — the deadline is
+an optional fifth element of each request tuple (default: none, which
+sorts last).  The richer resilient event loop
+(:mod:`repro.serve.resilience`) reuses this module's :class:`Schedule` /
+:class:`ScheduledJob` types, so rows carry a terminal ``disposition``
+(``ok | degraded | shed | error``): *every* job the service accepted gets
+a row here, not just the successes — failed jobs consumed machine time
+and count in the latency percentiles (shed jobs, which never ran, are
+tallied but excluded from latency statistics).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Any, Sequence
@@ -42,6 +54,9 @@ class ScheduledJob:
     arrival: float
     start: float
     finish: float
+    disposition: str = "ok"   # terminal disposition: ok|degraded|shed|error
+    attempts: int = 1         # executed attempts (retries + hedges included)
+    hedged: bool = False      # a speculative duplicate was launched
 
     @property
     def latency(self) -> float:
@@ -62,6 +77,9 @@ class ScheduledJob:
             "finish": self.finish,
             "latency": self.latency,
             "queue_wait": self.queue_wait,
+            "disposition": self.disposition,
+            "attempts": self.attempts,
+            "hedged": self.hedged,
         }
 
 
@@ -75,7 +93,10 @@ class Schedule:
     busy_rank_time: float
 
     def latencies(self) -> list[float]:
-        return [j.latency for j in self.jobs]
+        """Latencies of every job that actually ran (shed jobs never did —
+        counting their zero wait would flatter the percentiles, the exact
+        inverse of the old bug where *error* jobs were dropped)."""
+        return [j.latency for j in self.jobs if j.disposition != "shed"]
 
     def percentile(self, q: float) -> float:
         """Exact latency percentile (nearest-rank on the sorted list)."""
@@ -84,6 +105,13 @@ class Schedule:
             return 0.0
         idx = min(len(lats) - 1, max(0, math.ceil(q / 100.0 * len(lats)) - 1))
         return lats[idx]
+
+    def dispositions(self) -> dict[str, int]:
+        """Histogram disposition -> job count (sorted by name)."""
+        out: dict[str, int] = {}
+        for j in self.jobs:
+            out[j.disposition] = out.get(j.disposition, 0) + 1
+        return dict(sorted(out.items()))
 
     def summary(self) -> dict[str, Any]:
         lats = self.latencies()
@@ -95,19 +123,33 @@ class Schedule:
             "latency_p99": self.percentile(99.0),
             "latency_mean": sum(lats) / len(lats) if lats else 0.0,
             "latency_max": max(lats) if lats else 0.0,
+            "dispositions": self.dispositions(),
         }
 
 
 def schedule_jobs(
-    requests: Sequence[tuple[int, float, int, float]], pool: MachinePool
+    requests: Sequence[tuple],
+    pool: MachinePool,
+    policy: str = "fifo",
 ) -> Schedule:
-    """Place ``(job_id, arrival, p, service_time)`` requests onto ``pool``.
+    """Place ``(job_id, arrival, p, service_time[, deadline])`` requests.
+
+    The optional fifth element is the job's absolute deadline in simulated
+    time; it matters only under ``policy="edf"``, where each dispatch scan
+    considers earliest-deadline-first (deadline, then arrival, then id)
+    instead of pure arrival order.  Backfill and best-fit placement are
+    identical under both policies.
 
     Raises ``ValueError`` if any request wants more ranks than the largest
     machine offers (the planner caps p at ``pool.max_ranks``, so this
     indicates a planner/pool mismatch, not load).
     """
-    for job_id, _, p, _ in requests:
+    if policy not in ("fifo", "edf"):
+        raise ValueError(f"policy must be 'fifo' or 'edf', got {policy!r}")
+    reqs = [
+        (r[0], r[1], r[2], r[3], r[4] if len(r) > 4 else math.inf) for r in requests
+    ]
+    for job_id, _, p, _, _ in reqs:
         if p > pool.max_ranks:
             raise ValueError(
                 f"job {job_id} wants {p} ranks but the largest pool machine "
@@ -116,20 +158,29 @@ def schedule_jobs(
         if p < 1:
             raise ValueError(f"job {job_id} wants {p} ranks")
 
-    pending = sorted(requests, key=lambda r: (r[1], r[0]))  # arrival, then id
+    pending = sorted(reqs, key=lambda r: (r[1], r[0]))  # arrival, then id
     free = {m.machine_id: m.p for m in pool}
-    #: running jobs as (finish, machine_id, p, job_id), kept sorted by finish
+    #: running jobs as a (finish, machine_id, p, job_id) min-heap — the
+    #: loop only ever needs the earliest finish, so a heap replaces the
+    #: old re-sort-on-every-dispatch list with identical pop order
     running: list[tuple[float, int, int, int]] = []
     placed: list[ScheduledJob] = []
-    queue: list[tuple[int, float, int, float]] = []
+    queue: list[tuple[int, float, int, float, float]] = []
     i = 0  # next arrival index
     now = pending[0][1] if pending else 0.0
 
+    def scan_order(entry: tuple[int, float, int, float, float]) -> tuple:
+        job_id, arrival, _, _, deadline = entry
+        if policy == "edf":
+            return (deadline, arrival, job_id)
+        return (arrival, job_id)
+
     def try_dispatch() -> None:
-        """Start every queued job that fits, FIFO scan with backfill."""
+        """Start every queued job that fits, priority scan with backfill."""
         nonlocal queue
-        remaining: list[tuple[int, float, int, float]] = []
-        for job_id, arrival, p, service in queue:
+        remaining: list[tuple[int, float, int, float, float]] = []
+        for entry in sorted(queue, key=scan_order):
+            job_id, arrival, p, service, _ = entry
             # best-fit: fewest free ranks that still fit, lowest id on ties
             best_m: int | None = None
             for m in pool:
@@ -137,12 +188,11 @@ def schedule_jobs(
                 if f >= p and (best_m is None or f < free[best_m]):
                     best_m = m.machine_id
             if best_m is None:
-                remaining.append((job_id, arrival, p, service))
+                remaining.append(entry)
                 continue
             free[best_m] -= p
             finish = now + service
-            running.append((finish, best_m, p, job_id))
-            running.sort()
+            heapq.heappush(running, (finish, best_m, p, job_id))
             placed.append(
                 ScheduledJob(
                     job_id=job_id,
@@ -163,7 +213,7 @@ def schedule_jobs(
         if math.isinf(now):
             break  # queue non-empty but nothing running/arriving: impossible
         while running and running[0][0] <= now:
-            _, m_id, p, _ = running.pop(0)
+            _, m_id, p, _ = heapq.heappop(running)
             free[m_id] += p
         while i < len(pending) and pending[i][1] <= now:
             queue.append(pending[i])

@@ -6,32 +6,42 @@
    the persistent δ-autotuning cache (:mod:`repro.serve.cache`) and the
    regime planner (:mod:`repro.serve.planner`): how many ranks, which δ,
    replicated or grid.  Repeat shapes skip re-planning entirely.
-2. **Solve** — every job runs the planned solver on a **fresh**
+2. **Solve** — every attempt runs the planned solver on a **fresh**
    :class:`~repro.bsp.machine.BSPMachine` of exactly its planned rank
    count, so its eigenvalues and cost report are byte-identical to a
-   single-shot run of the same ``(matrix, p, δ)``.  Batches can be
-   dispatched to a multiprocessing worker pool (``workers > 0``) — the
-   per-job results are order-independent and reassembled by job id.
-3. **Schedule** — the measured cost reports give each job its simulated
-   service time T = γF + βW + νQ + αS; the bin-packing scheduler
-   (:mod:`repro.serve.scheduler`) replays the workload's arrival trace
-   against the machine pool and yields per-job simulated latency and pool
-   utilization.
+   single-shot run of the same ``(matrix, p, δ)``.  Repeat attempts of
+   the same plan (retries, hedges) hit a solve memo — one wall-clock
+   solve per distinct plan, however many simulated trials charge it.
+3. **Schedule** — the measured cost reports give each attempt its
+   simulated service time T = γF + βW + νQ + αS; the resilient event loop
+   (:mod:`repro.serve.resilience`) replays the workload's arrival trace
+   against the machine pool under the service's
+   :class:`~repro.serve.resilience.ResiliencePolicy` — deadlines/EDF,
+   retry ladder, quarantine, hedging, admission control — and drives
+   every job to a terminal disposition (``ok | degraded | shed | error``).
 
-Fault handling: with a fault scenario installed, every pool worker's
-machine injects seeded faults.  The solver's internal recovery (checkpoint
-/ retry / grid-shrink) absorbs most; a job whose typed
-:class:`~repro.faults.errors.FaultError` still escapes is **degraded, not
-dropped** — the service re-runs it as a replicated (single-rank) solve on
-a healthy machine, re-planning δ through the cache's ``replan`` path.
-Only a job that fails even the degraded retry surfaces as an error result;
-no code path returns a spectrum that was not guarded.
+Failure handling is the resilience layer's escalation ladder and runs for
+*any* typed error outcome, whether it came from configured fault
+injection, a service-level chaos scenario, or a genuine solver bug:
+same-plan retry → grid-shrink replan (δ through the cache's ``replan``
+path) → replicated single-rank solve.  Only a job that exhausts its
+retry budget surfaces as an error result; no code path returns a
+spectrum that was not guarded.
+
+With a :class:`~repro.serve.journal.JobJournal` attached, every
+submission, attempt outcome, and terminal disposition is journaled
+write-ahead (fsync'd JSONL), so a service process killed mid-workload
+resumes by replaying completed solves from the journal — byte-identical
+to the uninterrupted run, without recomputing finished eigensolves.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 import numpy as np
@@ -40,29 +50,45 @@ from repro.bsp.machine import BSPMachine
 from repro.bsp.params import MachineParams
 from repro.eig import solve_by_name
 from repro.metrics.attainment import attainment_ratios
-from repro.serve.cache import TuningCache, cached_replan_delta
+from repro.serve.cache import TuningCache, cached_replan_delta, model_fingerprint
+from repro.serve.journal import JobJournal
 from repro.serve.planner import DEFAULT_ALGORITHM, Plan, plan_job
 from repro.serve.pool import MachinePool
-from repro.serve.scheduler import Schedule, schedule_jobs
+from repro.serve.resilience import (
+    DEFAULT_POLICY,
+    SERVICE_SCENARIOS,
+    AttemptOutcome,
+    ResiliencePolicy,
+    Rung,
+    ServiceScenario,
+    SimJob,
+    run_resilient,
+    slo_summary,
+)
+from repro.serve.scheduler import Schedule
 from repro.serve.workload import JobSpec, Workload
 from repro.util.matrices import random_symmetric
 
 
 @dataclass
 class JobResult:
-    """Everything the service knows about one completed (or failed) job."""
+    """Everything the service knows about one terminal (or failed) job."""
 
     job_id: int
     n: int
     seed: int
     plan: Plan
-    status: str                    # "ok" | "error"
+    status: str                    # "ok" | "error" | "shed"
     eigenvalues: np.ndarray | None
-    service_time: float            # simulated T of the measured run
+    service_time: float            # simulated T of the winning attempt
     sim_cost: dict[str, float]
     planned_from_cache: bool
     retries: int = 0
-    degraded: bool = False         # fell back to the replicated solve
+    degraded: bool = False         # settled on a grid-shrink/replicated rung
+    hedged: bool = False           # a speculative duplicate was launched
+    attempts: int = 1              # executed attempts (retries + hedges)
+    slo: str = "batch"
+    deadline_hit: bool = True
     error: str = ""
     error_type: str = ""
     attainment: list[dict] = field(default_factory=list)
@@ -70,6 +96,13 @@ class JobResult:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def disposition(self) -> str:
+        """Terminal disposition (``ok | degraded | shed | error``)."""
+        if self.status == "ok":
+            return "degraded" if self.degraded else "ok"
+        return self.status
 
 
 @dataclass
@@ -82,6 +115,9 @@ class ServeReport:
     plan_hits: int
     cache_stats: dict[str, Any]
     pool: dict[str, Any]
+    resilience: dict[str, Any] = field(default_factory=dict)
+    slo: dict[str, Any] = field(default_factory=dict)
+    health: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def jobs(self) -> int:
@@ -93,7 +129,11 @@ class ServeReport:
 
     @property
     def error_jobs(self) -> int:
-        return self.jobs - self.ok_jobs
+        return sum(r.status == "error" for r in self.results)
+
+    @property
+    def shed_jobs(self) -> int:
+        return sum(r.status == "shed" for r in self.results)
 
     @property
     def jobs_per_s(self) -> float:
@@ -112,7 +152,14 @@ class ServeReport:
         return dict(sorted(out.items(), key=lambda kv: int(kv[0][2:])))
 
     def sim_totals(self) -> dict[str, float]:
-        """Exact simulated cost summed over jobs (deterministic gate food)."""
+        """Exact simulated cost of each job's *winning* attempt, summed.
+
+        Error jobs contribute the partial cost their last attempt accrued
+        before faulting (they consumed machine time; dropping them would
+        flatter the totals).  The all-attempts total — including hedges,
+        retries, and probes — lives in ``resilience["charged"]``; the gap
+        between the two is the price of resilience, kept visible.
+        """
         totals = {"flops": 0.0, "words": 0.0, "mem_traffic": 0.0, "supersteps": 0.0}
         for r in self.results:
             for k in totals:
@@ -125,6 +172,7 @@ class ServeReport:
             "jobs": self.jobs,
             "ok": self.ok_jobs,
             "errors": self.error_jobs,
+            "shed": self.shed_jobs,
             "degraded": sum(r.degraded for r in self.results),
             "retries": sum(r.retries for r in self.results),
             "wall_s": self.wall_s,
@@ -134,6 +182,8 @@ class ServeReport:
             "regimes": self.regimes(),
             "sim": self.schedule.summary(),
             "sim_totals": self.sim_totals(),
+            "resilience": self.resilience,
+            "slo": self.slo,
             "cache": self.cache_stats,
             "pool": self.pool,
         }
@@ -156,7 +206,9 @@ def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
 
     Returns a plain dict (arrays and floats only) so results cross a
     process boundary cheaply.  A typed fault error is *returned*, not
-    raised — the parent decides the degradation policy.
+    raised — the parent decides the escalation policy.  The error dict
+    carries the *partial* cost the machine accrued before faulting, so a
+    failed attempt still has a simulated service time to charge.
     """
     from repro.faults.errors import FaultError
 
@@ -179,11 +231,22 @@ def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
     try:
         result = solve_by_name(algorithm, machine, a, delta)
     except FaultError as exc:
+        partial = machine.cost()
         return {
             "job_id": payload["job_id"],
             "status": "error",
             "error": str(exc),
             "error_type": type(exc).__name__,
+            "sim_cost": {
+                "flops": partial.flops,
+                "words": partial.words,
+                "mem_traffic": partial.mem_traffic,
+                "supersteps": float(partial.supersteps),
+                "peak_memory_words": partial.peak_memory_words,
+            },
+            "service_time": params.time(
+                partial.flops, partial.words, partial.mem_traffic, partial.supersteps
+            ),
         }
     cost = result.cost
     return {
@@ -204,6 +267,36 @@ def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _memo_key(payload: dict[str, Any]) -> str:
+    """Identity of one solve: every field that changes its outcome.
+
+    ``repr`` on δ keeps the full double, so two plans differing in the
+    last ulp never collide.
+    """
+    return (
+        f"n={payload['n']};seed={payload['seed']};p={payload['p']};"
+        f"delta={payload['delta']!r};alg={payload['algorithm']};"
+        f"faults={payload.get('faults', '')};fseed={payload.get('fault_seed', 0)}"
+    )
+
+
+def _attempt_to_json(raw: dict[str, Any]) -> dict[str, Any]:
+    """Journal form of a solve outcome (JSON floats round-trip doubles)."""
+    doc = dict(raw)
+    ev = doc.get("eigenvalues")
+    if ev is not None:
+        doc["eigenvalues"] = [float(x) for x in np.asarray(ev)]
+    return doc
+
+
+def _attempt_from_json(doc: dict[str, Any]) -> dict[str, Any]:
+    raw = dict(doc)
+    ev = raw.get("eigenvalues")
+    if ev is not None:
+        raw["eigenvalues"] = np.asarray(ev, dtype=np.float64)
+    return raw
+
+
 class EigenService:
     """Batched eigensolver front-end over a pool of simulated machines."""
 
@@ -215,6 +308,9 @@ class EigenService:
         workers: int = 0,
         faults: str | None = None,
         fault_seed0: int = 0,
+        policy: ResiliencePolicy | None = None,
+        scenario: str | ServiceScenario | None = None,
+        journal: JobJournal | str | Path | None = None,
     ):
         self.pool = pool
         self.cache = cache if cache is not None else TuningCache()
@@ -222,6 +318,20 @@ class EigenService:
         self.workers = workers
         self.faults = faults or None
         self.fault_seed0 = fault_seed0
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        if isinstance(scenario, str):
+            if scenario not in SERVICE_SCENARIOS:
+                raise ValueError(
+                    f"unknown service scenario {scenario!r}; "
+                    f"choose from {sorted(SERVICE_SCENARIOS)}"
+                )
+            self.scenario: ServiceScenario | None = SERVICE_SCENARIOS[scenario]
+        else:
+            self.scenario = scenario
+        if journal is None or isinstance(journal, JobJournal):
+            self.journal = journal
+        else:
+            self.journal = JobJournal(journal)
 
     # -------------------------------------------------------------- #
 
@@ -231,102 +341,253 @@ class EigenService:
             self.cache, n, self.pool.max_ranks, self.pool.params, self.algorithm
         )
 
-    def _payload(self, spec: JobSpec, plan: Plan) -> dict[str, Any]:
+    def journal_fingerprint(self, workload: Workload) -> str:
+        """Digest binding a journal file to this exact run configuration."""
+        doc = {
+            "workload": workload.to_json(),
+            "params": self.pool.params.fingerprint(),
+            "pool": self.pool.as_dict(),
+            "algorithm": self.algorithm,
+            "policy": self.policy.as_dict(),
+            "scenario": self.scenario.as_dict() if self.scenario else None,
+            "faults": self.faults,
+            "fault_seed0": self.fault_seed0,
+            "model": model_fingerprint(),
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def _attempt_payload(
+        self, spec: JobSpec, rung: Rung, attempt: int
+    ) -> dict[str, Any]:
+        """The solve payload of one attempt of one job.
+
+        With the service-wide ``faults`` scenario (the PR 7 chaos path),
+        every attempt is faulted with a per-(job, attempt) seed — except
+        replicated-rung retries, which model the "clean single-rank
+        fallback" the degraded path has always promised.  Service
+        :class:`ServiceScenario` failures (flaky machine, poison,
+        straggler) are applied *outside* the solve, in ``outcome_for`` —
+        they are service-level events, so the underlying spectrum stays a
+        clean memoizable solve.
+        """
         payload: dict[str, Any] = {
             "job_id": spec.job_id,
             "n": spec.n,
             "seed": spec.seed,
-            "p": plan.p,
-            "delta": plan.delta,
-            "algorithm": plan.algorithm,
+            "p": rung.p,
+            "delta": rung.delta,
+            "algorithm": self.algorithm,
             "params": _params_payload(self.pool.params),
         }
-        if self.faults:
+        if (
+            self.scenario is None
+            and self.faults
+            and not (rung.kind == "replicated" and attempt > 0)
+        ):
             payload["faults"] = self.faults
-            payload["fault_seed"] = self.fault_seed0 + spec.job_id
+            payload["fault_seed"] = self.fault_seed0 + spec.job_id + 1_000_003 * attempt
         return payload
 
-    def _degrade(self, spec: JobSpec, raw: dict[str, Any]) -> tuple[dict[str, Any], Plan, bool]:
-        """Replicated-solve fallback for a job whose fault escaped recovery."""
-        delta = cached_replan_delta(self.cache, spec.n, 1, self.pool.params, self.algorithm)
-        fallback = Plan(
-            n=spec.n, p=1, delta=delta,
-            predicted_time=float("inf"), algorithm=self.algorithm,
+    def _rung_for(self, plan: Plan, spec: JobSpec, failures: int) -> Rung:
+        """The escalation ladder: failure count → next attempt's plan."""
+        if failures == 0:
+            return Rung(plan.p, plan.delta, "primary")
+        if failures == 1:
+            return Rung(plan.p, plan.delta, "same-plan")
+        if failures == 2 and plan.p > 1:
+            p2 = max(1, plan.p // 2)
+            delta = cached_replan_delta(
+                self.cache, spec.n, p2, self.pool.params, self.algorithm
+            )
+            return Rung(p2, delta, "grid-shrink" if p2 > 1 else "replicated")
+        delta = cached_replan_delta(
+            self.cache, spec.n, 1, self.pool.params, self.algorithm
         )
-        payload = self._payload(spec, fallback)
-        payload.pop("faults", None)  # degraded retry runs on a healthy machine
-        payload.pop("fault_seed", None)
-        return execute_payload(payload), fallback, True
+        return Rung(1, delta, "replicated")
 
     def run_workload(self, workload: Workload) -> ServeReport:
-        """Serve every job of a workload; returns the aggregate report."""
+        """Serve every job of a workload; returns the aggregate report.
+
+        Wall-clock work (actual eigensolves) happens lazily inside the
+        simulated event loop through a memo keyed on the solve identity,
+        so retries and hedges of an identical plan cost nothing extra in
+        wall time while still being fully charged in simulated time.
+        """
         t0 = time.perf_counter()
+        specs = {spec.job_id: spec for spec in workload.jobs}
         plans: dict[int, tuple[Plan, bool]] = {}
-        payloads: list[dict[str, Any]] = []
         for spec in workload.jobs:
-            plan, hit = self.plan(spec.n)
-            plans[spec.job_id] = (plan, hit)
-            payloads.append(self._payload(spec, plan))
+            plans[spec.job_id] = self.plan(spec.n)
 
+        memo: dict[str, dict[str, Any]] = {}
+        journal = self.journal
+        if journal is not None:
+            journal.open(self.journal_fingerprint(workload), len(workload.jobs))
+            for key, doc in journal.attempts.items():
+                memo[key] = _attempt_from_json(doc)
+            for spec in workload.jobs:
+                journal.record_submitted(spec.job_id, spec.as_dict())
+
+        def solve(payload: dict[str, Any]) -> dict[str, Any]:
+            key = _memo_key(payload)
+            raw = memo.get(key)
+            if raw is None:
+                raw = execute_payload(payload)
+                memo[key] = raw
+                if journal is not None:
+                    journal.record_attempt(key, _attempt_to_json(raw))
+            return raw
+
+        # attempt-0 payloads are placement-independent: warm the memo in
+        # parallel before the (serial) simulated loop
         if self.workers > 0:
-            from concurrent.futures import ProcessPoolExecutor
+            first = [
+                self._attempt_payload(
+                    spec, self._rung_for(plans[spec.job_id][0], spec, 0), 0
+                )
+                for spec in workload.jobs
+            ]
+            todo = [pl for pl in first if _memo_key(pl) not in memo]
+            if todo:
+                from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                raws = list(pool.map(execute_payload, payloads))
-        else:
-            raws = [execute_payload(p) for p in payloads]
+                with ProcessPoolExecutor(max_workers=self.workers) as workers:
+                    for pl, raw in zip(todo, workers.map(execute_payload, todo)):
+                        memo[_memo_key(pl)] = raw
+                        if journal is not None:
+                            journal.record_attempt(_memo_key(pl), _attempt_to_json(raw))
 
-        by_id = {raw["job_id"]: raw for raw in raws}
+        def rung_for(job_id: int, failures: int) -> Rung:
+            return self._rung_for(plans[job_id][0], specs[job_id], failures)
+
+        def outcome_for(
+            job_id: int, rung: Rung, attempt: int, machine_id: int
+        ) -> AttemptOutcome:
+            spec = specs[job_id]
+            raw = solve(self._attempt_payload(spec, rung, attempt))
+            out = dict(raw)  # never mutate the memoized dict
+            service = float(raw.get("service_time", 0.0))
+            scen = self.scenario
+            if scen is not None and out["status"] == "ok":
+                if scen.is_flaky_attempt(machine_id, job_id, attempt):
+                    out = {
+                        "job_id": job_id,
+                        "status": "error",
+                        "error": f"machine {machine_id} flaked on job {job_id} "
+                        f"attempt {attempt}",
+                        "error_type": "MachineFlakeError",
+                        "sim_cost": raw.get("sim_cost", {}),
+                        "service_time": service,
+                    }
+                elif scen.is_poison(job_id):
+                    out = {
+                        "job_id": job_id,
+                        "status": "error",
+                        "error": f"poison job {job_id}: typed failure on every attempt",
+                        "error_type": "PoisonJobError",
+                        "sim_cost": raw.get("sim_cost", {}),
+                        "service_time": service,
+                    }
+            if scen is not None and scen.is_straggler(job_id, attempt):
+                service *= scen.straggler_factor
+                out["service_time"] = service
+            return AttemptOutcome(
+                ok=out["status"] == "ok",
+                service_time=service,
+                sim_cost=out.get("sim_cost", {}),
+                payload=out,
+            )
+
+        def on_terminal(v) -> None:
+            if journal is not None:
+                journal.record_terminal(
+                    v.job_id,
+                    {
+                        "disposition": v.disposition,
+                        "slo": v.slo,
+                        "deadline_hit": v.deadline_hit,
+                        "finish": v.finish,
+                        "attempts": v.attempts,
+                        "retries": v.retries,
+                        "hedged": v.hedged,
+                    },
+                )
+
+        sim_jobs = [
+            SimJob(spec.job_id, spec.arrival, spec.slo) for spec in workload.jobs
+        ]
+        run = run_resilient(
+            sim_jobs, self.pool, rung_for, outcome_for, self.policy, on_terminal
+        )
+        wall = time.perf_counter() - t0
+
         results: list[JobResult] = []
         for spec in workload.jobs:
-            raw = by_id[spec.job_id]
+            v = run.verdicts[spec.job_id]
             plan, hit = plans[spec.job_id]
-            retries, degraded = 0, False
-            if raw["status"] != "ok" and self.faults:
-                raw, plan, degraded = self._degrade(spec, raw)
-                retries = 1
-            if raw["status"] == "ok":
+            used = plan
+            if v.rung is not None and (
+                v.rung.p != plan.p or v.rung.delta != plan.delta
+            ):
+                used = Plan(
+                    n=spec.n, p=v.rung.p, delta=v.rung.delta,
+                    predicted_time=float("inf"), algorithm=self.algorithm,
+                )
+            payload = v.outcome.payload if v.outcome is not None else {}
+            common = dict(
+                job_id=spec.job_id, n=spec.n, seed=spec.seed, plan=used,
+                planned_from_cache=hit, retries=v.retries,
+                degraded=v.disposition == "degraded", hedged=v.hedged,
+                attempts=v.attempts, slo=spec.slo, deadline_hit=v.deadline_hit,
+            )
+            if v.disposition in ("ok", "degraded"):
                 results.append(
                     JobResult(
-                        job_id=spec.job_id, n=spec.n, seed=spec.seed, plan=plan,
                         status="ok",
-                        eigenvalues=raw["eigenvalues"],
-                        service_time=raw["service_time"],
-                        sim_cost=raw["sim_cost"],
-                        planned_from_cache=hit,
-                        retries=retries, degraded=degraded,
-                        attainment=raw["attainment"],
+                        eigenvalues=payload["eigenvalues"],
+                        service_time=v.outcome.service_time if v.outcome else 0.0,
+                        sim_cost=payload.get("sim_cost", {}),
+                        attainment=payload.get("attainment", []),
+                        **common,
+                    )
+                )
+            elif v.disposition == "shed":
+                results.append(
+                    JobResult(
+                        status="shed",
+                        eigenvalues=None, service_time=0.0, sim_cost={},
+                        error="shed by admission control (queue at limit)",
+                        error_type="Shed",
+                        **common,
                     )
                 )
             else:
                 results.append(
                     JobResult(
-                        job_id=spec.job_id, n=spec.n, seed=spec.seed, plan=plan,
                         status="error",
-                        eigenvalues=None, service_time=0.0, sim_cost={},
-                        planned_from_cache=hit,
-                        retries=retries, degraded=degraded,
-                        error=raw.get("error", ""),
-                        error_type=raw.get("error_type", ""),
+                        eigenvalues=None,
+                        service_time=v.outcome.service_time if v.outcome else 0.0,
+                        sim_cost=payload.get("sim_cost", {}),
+                        error=payload.get("error", ""),
+                        error_type=payload.get("error_type", ""),
+                        **common,
                     )
                 )
-        wall = time.perf_counter() - t0
 
-        arrivals = {spec.job_id: spec.arrival for spec in workload.jobs}
-        requests = [
-            (r.job_id, arrivals[r.job_id], r.plan.p, r.service_time)
-            for r in results
-            if r.ok
-        ]
-        schedule = schedule_jobs(requests, self.pool)
         self.cache.save()
+        if journal is not None:
+            journal.close()
         return ServeReport(
             results=sorted(results, key=lambda r: r.job_id),
-            schedule=schedule,
+            schedule=run.schedule,
             wall_s=wall,
             plan_hits=sum(hit for _, hit in plans.values()),
             cache_stats=self.cache.stats.as_dict(),
             pool=self.pool.as_dict(),
+            resilience=run.stats.as_dict(),
+            slo=slo_summary(list(run.verdicts.values())),
+            health=run.health,
         )
 
 
@@ -347,8 +608,8 @@ def verify_against_single_shot(
     """Byte-identity check of every ok job versus a single-shot solve.
 
     Returns human-readable mismatch descriptions ([] = all identical).
-    Degraded jobs are verified against their *fallback* plan — that is the
-    solve that actually produced their spectrum.
+    Degraded/hedged/retried jobs are verified against their *winning*
+    plan — that is the solve that actually produced their spectrum.
     """
     problems: list[str] = []
     for r in results:

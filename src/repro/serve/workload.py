@@ -41,13 +41,19 @@ ZIPF_EXPONENT = 1.6
 @dataclass(frozen=True)
 class JobSpec:
     """One eigenproblem request: an n×n symmetric matrix drawn from ``seed``
-    arriving at simulated time ``arrival``."""
+    arriving at simulated time ``arrival``.
+
+    ``slo`` names the request's service-level class (a key of
+    :data:`repro.serve.resilience.SLO_CLASSES`); it sets the job's
+    simulated-time deadline and its priority under EDF scheduling.
+    """
 
     job_id: int
     n: int
     seed: int
     arrival: float
     tag: str = ""
+    slo: str = "batch"
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -56,6 +62,7 @@ class JobSpec:
             "seed": self.seed,
             "arrival": self.arrival,
             "tag": self.tag,
+            "slo": self.slo,
         }
 
 
@@ -92,6 +99,7 @@ class Workload:
                 seed=int(j["seed"]),
                 arrival=float(j["arrival"]),
                 tag=str(j.get("tag", "")),
+                slo=str(j.get("slo", "batch")),
             )
             for j in doc["jobs"]
         ]
@@ -108,7 +116,9 @@ class Workload:
         return cls.from_json(json.loads(Path(path).read_text()))
 
 
-def _finalize(raw: list[tuple[float, int, str]], seed: int, descriptor: dict) -> Workload:
+def _finalize(
+    raw: list[tuple[float, int, str, str]], seed: int, descriptor: dict
+) -> Workload:
     """Sort by arrival (stable), assign ids, derive per-job matrix seeds.
 
     Matrix seeds are drawn from the workload seed and the job's position so
@@ -123,8 +133,9 @@ def _finalize(raw: list[tuple[float, int, str]], seed: int, descriptor: dict) ->
             seed=(seed * 1_000_003 + i * 7919) % (2**31 - 1),
             arrival=float(arrival),
             tag=tag,
+            slo=slo,
         )
-        for i, (arrival, n, tag) in enumerate(raw)
+        for i, (arrival, n, tag, slo) in enumerate(raw)
     ]
     return Workload(jobs=jobs, descriptor=descriptor)
 
@@ -136,20 +147,22 @@ def scf_trace(
     burst_jitter: float = 5.0e3,
     seed: int = 0,
     t0: float = 0.0,
+    slo: str = "batch",
 ) -> Workload:
     """A gpaw-style SCF trace: per iteration, one job per k-point.
 
     The k-point size list repeats identically every iteration; arrivals
     cluster in a burst at each iteration boundary with a small seeded
-    jitter (the host code dispatches k-points one after another).
+    jitter (the host code dispatches k-points one after another).  An SCF
+    loop is throughput-bound, so its jobs default to the "batch" SLO.
     """
     rng = np.random.default_rng(seed)
-    raw: list[tuple[float, int, str]] = []
+    raw: list[tuple[float, int, str, str]] = []
     for it in range(iterations):
         base = t0 + it * iteration_gap
         for k, n in enumerate(kpoint_sizes):
             jitter = float(rng.uniform(0.0, burst_jitter))
-            raw.append((base + jitter, int(n), f"scf[it={it},k={k}]"))
+            raw.append((base + jitter, int(n), f"scf[it={it},k={k}]", slo))
     descriptor = {
         "kind": "scf",
         "iterations": iterations,
@@ -169,23 +182,25 @@ def zipf_stream(
     exponent: float = ZIPF_EXPONENT,
     seed: int = 0,
     t0: float = 0.0,
+    slo: str = "interactive",
 ) -> Workload:
     """Open Poisson traffic with Zipf-distributed problem sizes.
 
     Size rank r (1 = smallest n) has probability ∝ r^-exponent, so small
     problems dominate and the occasional large one stresses the
     dedicated-grid path of the scheduler.  Inter-arrival gaps are
-    exponential with mean ``mean_gap`` simulated time units.
+    exponential with mean ``mean_gap`` simulated time units.  Open traffic
+    is latency-sensitive, so its jobs default to the "interactive" SLO.
     """
     rng = np.random.default_rng(seed)
     weights = np.array([1.0 / (r + 1) ** exponent for r in range(len(sizes))])
     weights /= weights.sum()
-    raw: list[tuple[float, int, str]] = []
+    raw: list[tuple[float, int, str, str]] = []
     t = t0
     for i in range(jobs):
         t += float(rng.exponential(mean_gap))
         n = int(rng.choice(np.asarray(sizes), p=weights))
-        raw.append((t, n, f"zipf[{i}]"))
+        raw.append((t, n, f"zipf[{i}]", slo))
     descriptor = {
         "kind": "zipf",
         "jobs": jobs,
@@ -223,7 +238,7 @@ def mixed_workload(
     zipf = zipf_stream(
         jobs=n_zipf, mean_gap=zipf_mean_gap, sizes=zipf_sizes, seed=seed * 2 + 2
     )
-    raw = [(j.arrival, j.n, j.tag) for j in scf.jobs + zipf.jobs]
+    raw = [(j.arrival, j.n, j.tag, j.slo) for j in scf.jobs + zipf.jobs]
     descriptor = {
         "kind": "mixed",
         "total_jobs": total_jobs,
