@@ -31,7 +31,15 @@ serve-bench
          gates against a committed baseline, ``--soak`` runs a chaos
          scenario (solver faults, flaky-machine, straggler, poison-job,
          or crash/resume) and asserts never-silently-wrong, no-job-lost,
-         and determinism (see docs/serving.md)
+         and determinism (see docs/serving.md); ``--telemetry-out`` runs
+         the observed pass of the unified telemetry layer and writes the
+         deterministic telemetry.json (``--telemetry-check`` gates it,
+         ``--merged-trace-out`` exports the merged Perfetto trace,
+         ``--dash-out`` the flight-recorder HTML — see
+         docs/observability.md)
+dash     render a telemetry.json as a self-contained HTML flight-recorder
+         dashboard (timeline, SLO hit rates, latency percentiles,
+         breaker/hedge chronology)
 table1   print the paper's Table I, symbolically and evaluated at (n, p)
 figure1  print the Figure 1 structure diagram (Algorithm IV.1)
 figure2  print the Figure 2 pipeline diagram (Algorithm IV.2)
@@ -48,6 +56,40 @@ def _fail(msg: str) -> int:
     """Uniform CLI failure path: one-line diagnostic on stderr, exit 2."""
     print(f"repro: error: {msg}", file=sys.stderr)
     return 2
+
+
+def _load_baseline(loader, path):
+    """The shared ``--check`` preamble of every gated command.
+
+    Loads the committed baseline *before* the (slow) suite runs, through
+    the command's own ``loader``.  A missing or unreadable baseline is a
+    configuration error, not a bench failure — the typed contract, shared
+    by ``repro bench``, ``repro metrics``, ``repro serve-bench`` and the
+    telemetry gate, is **exit 2** with a one-line message naming the
+    expected file (each loader's FileNotFoundError text says how to
+    create it).
+
+    Returns ``(baseline, None)`` on success, ``(None, exit_code)`` on
+    failure — the caller returns the exit code immediately.
+    """
+    from repro.bench import BenchError
+
+    try:
+        return loader(path), None
+    except (OSError, ValueError, BenchError) as exc:
+        return None, _fail(str(exc))
+
+
+def _report_gate(failures: list[str], baseline_path, what: str) -> int:
+    """The shared ``--check`` epilogue: print failures (exit 1) or the
+    pass line (exit 0)."""
+    if failures:
+        print(f"\n{what} FAILED against baseline {baseline_path}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"baseline check passed against {baseline_path}")
+    return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -111,13 +153,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     baseline = None
     if args.check is not None:
-        try:
-            # load before the (slow) suite runs: a missing or unreadable
-            # baseline is a configuration error, not a bench failure —
-            # exit 2 with a one-line message naming the file
-            baseline = bench.load_baseline(args.check)
-        except (OSError, ValueError, bench.BenchError) as exc:
-            return _fail(str(exc))
+        baseline, err = _load_baseline(bench.load_baseline, args.check)
+        if err is not None:
+            return err
 
     try:
         results = bench.run_suite(repeats=args.repeats)
@@ -139,13 +177,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if final is not results:
         out = bench.write_results(final, args.out)
         print(f"rewrote {out} with the re-timed results")
-    if failures:
-        print(f"\nbench FAILED against baseline {args.check}:", file=sys.stderr)
-        for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
-        return 1
-    print(f"baseline check passed against {args.check}")
-    return 0
+    return _report_gate(failures, args.check, "bench")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -214,12 +246,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     # compare the fresh run against itself.
     baseline = None
     if args.check is not None:
-        try:
-            baseline = load_metrics(args.check)
-        except (OSError, ValueError) as exc:
-            # missing/unreadable baseline: configuration error -> exit 2,
-            # message names the expected file (no bare traceback)
-            return _fail(str(exc))
+        baseline, err = _load_baseline(load_metrics, args.check)
+        if err is not None:
+            return err
 
     def run() -> dict:
         a = random_symmetric(args.n, seed=args.seed)
@@ -249,13 +278,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     final, failures = bench.check_with_retries(
         doc, baseline, run, wall_tolerance=envelope, check=check_metrics
     )
-    if failures:
-        print(f"\nmetrics FAILED against baseline {args.check}:", file=sys.stderr)
-        for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
-        return 1
-    print(f"baseline check passed against {args.check}")
-    return 0
+    return _report_gate(failures, args.check, "metrics")
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -299,12 +322,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 tol=args.tol,
                 workers=args.workers,
                 journal_path=args.journal,
+                dash_path=args.dash_out,
             )
         except (ValueError, bench.BenchError) as exc:
             print(f"serve soak FAILED: {exc}", file=sys.stderr)
             return 1
         out = serve_bench.write_serve_results(doc, args.soak_out)
         print(f"wrote {out}")
+        if doc.get("dash"):
+            print(
+                f"wrote {doc['dash']['path']} "
+                f"(flight recorder: {doc['dash']['events']} lifecycle events)"
+            )
         violations = []
         if doc["silent_wrong"]:
             violations.append(
@@ -334,48 +363,108 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         return 0
 
+    # both baselines load before any (slow) suite so a missing file fails
+    # fast with the shared exit-2 contract
     baseline = None
     if args.check is not None:
+        baseline, err = _load_baseline(serve_bench.load_serve_baseline, args.check)
+        if err is not None:
+            return err
+    tel_baseline = None
+    if args.telemetry_check is not None:
+        from repro.obs import load_telemetry
+
+        tel_baseline, err = _load_baseline(load_telemetry, args.telemetry_check)
+        if err is not None:
+            return err
+
+    want_telemetry = args.telemetry_only or any(
+        x is not None
+        for x in (
+            args.telemetry_out, args.telemetry_check,
+            args.merged_trace_out, args.dash_out,
+        )
+    )
+
+    if not args.telemetry_only:
+
+        def run() -> dict:
+            return serve_bench.run_serve_suite(
+                cache_path=args.cache,
+                trace_path=args.trace_out,
+                workers=args.workers,
+            )
+
         try:
-            # load before the (slow) suite so a missing baseline fails fast
-            baseline = serve_bench.load_serve_baseline(args.check)
-        except (OSError, ValueError, bench.BenchError) as exc:
-            # missing/unreadable baseline: exit 2, message names the file
-            return _fail(str(exc))
+            doc = run()
+        except bench.BenchError as exc:
+            print(f"serve-bench FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(serve_bench.render_serve(doc))
+        out = serve_bench.write_serve_results(doc, args.out)
+        print(f"\nwrote {out}")
+        if baseline is not None:
+            try:
+                final, failures = bench.check_with_retries(
+                    doc, baseline, run, check=serve_bench.check_serve
+                )
+            except bench.BenchError as exc:
+                print(f"serve-bench FAILED: {exc}", file=sys.stderr)
+                return 1
+            if final is not doc:
+                out = serve_bench.write_serve_results(final, args.out)
+                print(f"rewrote {out} with the re-timed results")
+            rc = _report_gate(failures, args.check, "serve-bench")
+            if rc != 0:
+                return rc
 
-    def run() -> dict:
-        return serve_bench.run_serve_suite(
-            cache_path=args.cache,
-            trace_path=args.trace_out,
-            workers=args.workers,
-        )
-
-    try:
-        doc = run()
-    except bench.BenchError as exc:
-        print(f"serve-bench FAILED: {exc}", file=sys.stderr)
-        return 1
-    print(serve_bench.render_serve(doc))
-    out = serve_bench.write_serve_results(doc, args.out)
-    print(f"\nwrote {out}")
-    if baseline is None:
+    if not want_telemetry:
         return 0
+
+    # the observed pass: separate from the wall-clock passes above (span
+    # capture slows the wall clock, never the simulated results)
+    from repro.obs import check_telemetry, render_telemetry, write_telemetry
+
     try:
-        final, failures = bench.check_with_retries(
-            doc, baseline, run, check=serve_bench.check_serve
+        tdoc = serve_bench.run_telemetry_suite(
+            workers=args.workers,
+            trace_path=args.merged_trace_out,
+            dash_path=args.dash_out,
         )
     except bench.BenchError as exc:
-        print(f"serve-bench FAILED: {exc}", file=sys.stderr)
+        print(f"serve-bench telemetry FAILED: {exc}", file=sys.stderr)
         return 1
-    if final is not doc:
-        out = serve_bench.write_serve_results(final, args.out)
-        print(f"rewrote {out} with the re-timed results")
-    if failures:
-        print(f"\nserve-bench FAILED against baseline {args.check}:", file=sys.stderr)
-        for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
-        return 1
-    print(f"baseline check passed against {args.check}")
+    print(render_telemetry(tdoc))
+    if args.telemetry_out is not None:
+        out = write_telemetry(tdoc, args.telemetry_out)
+        print(f"wrote {out}")
+    if args.merged_trace_out is not None:
+        print(f"wrote {args.merged_trace_out} (merged Perfetto trace)")
+    if args.dash_out is not None:
+        print(f"wrote {args.dash_out} (flight-recorder dashboard)")
+    if tel_baseline is None:
+        return 0
+    # fully deterministic — no retry loop needed
+    return _report_gate(
+        check_telemetry(tdoc, tel_baseline), args.telemetry_check,
+        "serve-bench telemetry",
+    )
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs import load_telemetry, write_dash
+
+    # missing/unreadable telemetry document: the shared exit-2 contract
+    doc, err = _load_baseline(load_telemetry, args.telemetry)
+    if err is not None:
+        return err
+    out = write_dash(doc, args.out, title=args.title)
+    ev = doc.get("events", {})
+    print(
+        f"wrote {out} (flight recorder: {ev.get('count', 0)} lifecycle "
+        f"events, {doc.get('solver', {}).get('span_events', 0)} solver span "
+        "events; self-contained HTML — open in a browser)"
+    )
     return 0
 
 
@@ -674,7 +763,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--tol", type=float, default=1e-6,
         help="spectrum tolerance of the soak's silently-wrong verdict",
     )
+    p_serve.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="run the telemetry-on pass (strict no-op gated against an "
+        "unobserved pass) and write the deterministic telemetry.json there",
+    )
+    p_serve.add_argument(
+        "--telemetry-check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="gate the telemetry-on pass against a committed telemetry.json "
+        "(exact equality — every field is deterministic)",
+    )
+    p_serve.add_argument(
+        "--merged-trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the merged Perfetto trace of the telemetry pass: service "
+        "tracks + per-job solver tracks linked by flow events",
+    )
+    p_serve.add_argument(
+        "--dash-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the self-contained HTML flight-recorder dashboard of the "
+        "telemetry pass (with --soak: of the soak run)",
+    )
+    p_serve.add_argument(
+        "--telemetry-only",
+        action="store_true",
+        help="skip the three wall-clock passes and run only the telemetry "
+        "pass (baseline generation / quick dashboard refresh)",
+    )
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_dash = sub.add_parser(
+        "dash",
+        help="render a telemetry.json as a self-contained HTML flight recorder",
+    )
+    p_dash.add_argument(
+        "--telemetry",
+        type=Path,
+        default=Path("benchmarks") / "results" / "telemetry.json",
+        help="telemetry document to render (written by "
+        "`repro serve-bench --telemetry-out`)",
+    )
+    p_dash.add_argument(
+        "--out",
+        type=Path,
+        default=Path("benchmarks") / "results" / "serve_dash.html",
+        help="where to write the HTML report",
+    )
+    p_dash.add_argument(
+        "--title",
+        default="repro service flight recorder",
+        help="report title",
+    )
+    p_dash.set_defaults(fn=_cmd_dash)
 
     p_t1 = sub.add_parser("table1", help="print Table I")
     p_t1.add_argument("--n", type=int, default=65536)

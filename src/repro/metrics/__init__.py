@@ -23,10 +23,12 @@ from repro.metrics.report import (
     render_metrics,
     write_metrics,
 )
+from repro.metrics.sketch import LatencySketch
 
 __all__ = [
     "ATTAINMENT_COMPONENTS",
     "DEFAULT_ENVELOPE",
+    "LatencySketch",
     "MetricsCollector",
     "MetricsSnapshot",
     "NO_METRICS",

@@ -1,0 +1,187 @@
+"""The gated ``telemetry.json`` document: build, write, load, check.
+
+The document is a *fully deterministic* digest of one telemetry-enabled
+pass of the pinned serve workload: event-log counts and a sha256 of the
+canonical JSONL lines, compact gauge summaries (count/last/max plus a
+per-series digest), counters, per-SLO-class latency sketches, and the
+breaker/hedge chronologies verbatim.  Every field is a pure function of
+the seeded workload, so :func:`check_telemetry` gates with **exact
+equality** — any drift means the service's observable behavior changed
+and the baseline must be recommitted deliberately (the same contract as
+the simulated sections of ``BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.bench import BenchError
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
+
+SCHEMA_VERSION = 1
+
+#: default fresh-results location (the committed baseline lives under
+#: benchmarks/results/ like metrics_eig_n96_p16.json)
+DEFAULT_TELEMETRY_PATH = Path("benchmarks") / "results" / "telemetry.json"
+
+#: top-level sections compared with exact equality by the gate
+GATED_SECTIONS = (
+    "config", "events", "counters", "gauges", "latency_sketches",
+    "solver", "slo", "timeline", "breaker_chronology", "hedge_chronology",
+)
+
+
+def _slo_section(telemetry: "Telemetry") -> dict[str, Any]:
+    """Per-SLO-class deadline hit rates from the terminal events."""
+    out: dict[str, dict[str, Any]] = {}
+    for e in telemetry.events_of("terminal"):
+        entry = out.setdefault(
+            str(e["slo"]), {"jobs": 0, "deadline_hits": 0, "shed": 0}
+        )
+        entry["jobs"] += 1
+        entry["deadline_hits"] += int(bool(e["deadline_hit"]))
+        entry["shed"] += int(e["disposition"] == "shed")
+    for entry in out.values():
+        entry["hit_rate"] = (
+            entry["deadline_hits"] / entry["jobs"] if entry["jobs"] else 0.0
+        )
+    return dict(sorted(out.items()))
+
+
+def build_telemetry_doc(
+    telemetry: "Telemetry", config: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """The gated document of one telemetry capture."""
+    lines = telemetry.event_log_lines()
+    by_kind: dict[str, int] = {}
+    for e in telemetry.events:
+        by_kind[e["ev"]] = by_kind.get(e["ev"], 0) + 1
+    log_digest = hashlib.sha256(
+        "".join(line + "\n" for line in lines).encode()
+    ).hexdigest()
+    series = telemetry.series.as_dict()
+    span_events = sum(len(v["events"]) for v in telemetry.solver.values())
+    return {
+        "version": SCHEMA_VERSION,
+        "config": dict(config or {}),
+        "events": {
+            "count": len(lines),
+            "by_kind": dict(sorted(by_kind.items())),
+            "digest": log_digest,
+        },
+        "counters": series["counters"],
+        "gauges": series["gauges"],
+        "latency_sketches": {
+            slo: telemetry.sketches[slo].as_dict()
+            for slo in sorted(telemetry.sketches)
+        },
+        "solver": {
+            "attempts_with_spans": len(telemetry.solver),
+            "span_events": span_events,
+        },
+        "slo": _slo_section(telemetry),
+        # the flight-recorder dashboard's raw material: attempt spans for
+        # the machine-lane timeline plus the queue-depth change points —
+        # deterministic, so it gates with the rest
+        "timeline": {
+            "attempts": telemetry.attempt_spans(),
+            "queue_depth": [
+                [t, v]
+                for t, v in (
+                    telemetry.series.gauges["queue_depth"].samples
+                    if "queue_depth" in telemetry.series.gauges
+                    else []
+                )
+            ],
+            "machines": sorted(
+                {s["machine"] for s in telemetry.attempt_spans()}
+            ),
+        },
+        "breaker_chronology": telemetry.events_of("breaker"),
+        "hedge_chronology": telemetry.events_of("hedge_scheduled", "hedge_fire"),
+    }
+
+
+def check_telemetry(
+    fresh: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """Gate failures of a fresh telemetry doc vs the baseline ([] = pass).
+
+    Everything is deterministic, so every section compares exactly; the
+    failure text names the drifted section (and for the event log, the
+    per-kind counts) so a deliberate behavior change is easy to audit
+    before recommitting.
+    """
+    failures: list[str] = []
+    if fresh.get("version") != baseline.get("version"):
+        return [
+            f"telemetry schema version {fresh.get('version')} != baseline "
+            f"{baseline.get('version')} — regenerate the baseline"
+        ]
+    for section in GATED_SECTIONS:
+        f, b = fresh.get(section), baseline.get(section)
+        if f == b:
+            continue
+        detail = ""
+        if section == "events" and isinstance(f, dict) and isinstance(b, dict):
+            if f.get("by_kind") != b.get("by_kind"):
+                detail = (
+                    f": event counts by kind {b.get('by_kind')!r} -> "
+                    f"{f.get('by_kind')!r}"
+                )
+            else:
+                detail = ": same per-kind counts but the event log bytes differ"
+        failures.append(
+            f"telemetry drift in {section}{detail} (deterministic — the "
+            "service's observable behavior changed; recommit deliberately)"
+        )
+    return failures
+
+
+def write_telemetry(doc: dict[str, Any], path: Path | str) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return out
+
+
+def load_telemetry(path: Path | str) -> dict[str, Any]:
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no telemetry baseline at {path}; create one with "
+            f"`repro serve-bench --telemetry-out {path}`"
+        )
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise BenchError(f"telemetry baseline {path} is unreadable: {exc}") from exc
+
+
+def render_telemetry(doc: dict[str, Any]) -> str:
+    """One-paragraph console rendering of a telemetry document."""
+    ev = doc.get("events", {})
+    sketches = doc.get("latency_sketches", {})
+    lines = [
+        f"telemetry: {ev.get('count', 0)} lifecycle events "
+        f"({', '.join(f'{k}:{v}' for k, v in ev.get('by_kind', {}).items())})",
+        f"solver spans: {doc.get('solver', {}).get('span_events', 0)} events "
+        f"across {doc.get('solver', {}).get('attempts_with_spans', 0)} attempts",
+    ]
+    for slo, sk in sketches.items():
+        q = sk.get("quantiles", {})
+        lines.append(
+            f"latency[{slo}]: n={sk.get('count', 0)} "
+            f"p50={q.get('p50', 0.0):.3g} p95={q.get('p95', 0.0):.3g} "
+            f"p99={q.get('p99', 0.0):.3g} max={sk.get('max', 0.0):.3g}"
+        )
+    if doc.get("breaker_chronology"):
+        lines.append(f"breaker transitions: {len(doc['breaker_chronology'])}")
+    if doc.get("hedge_chronology"):
+        lines.append(f"hedge events: {len(doc['hedge_chronology'])}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Simulated-time time-series registry: counters and change-only gauges.
+
+All timestamps are **simulated** service time (the same clock
+:func:`repro.serve.resilience.run_resilient` advances), so two runs of the
+same seeded workload produce bit-identical series — there is no wall clock
+anywhere in this module.  Values are native python floats/ints so the JSON
+export round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+class Gauge:
+    """A piecewise-constant simulated-time series.
+
+    Samples are recorded **on change only** (plus the first sample), so a
+    gauge sampled at every event-loop step stays proportional to the number
+    of actual transitions, not loop iterations.  Re-sampling an unchanged
+    value at a later time is a no-op; the series is interpreted as
+    right-continuous step functions.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        #: list of (t, value) change points, t non-decreasing
+        self.samples: list[tuple[float, float]] = []
+
+    def sample(self, t: float, value: float) -> None:
+        if self.samples and self.samples[-1][1] == value:
+            return
+        self.samples.append((float(t), float(value)))
+
+    @property
+    def last(self) -> float:
+        return self.samples[-1][1] if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+    def digest(self) -> str:
+        """Short stable digest of the full change-point series (lets the
+        gated baseline assert bit-identity without embedding every point)."""
+        payload = json.dumps(self.samples, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class SeriesRegistry:
+    """Named counters and gauges, deterministic across reruns."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, Gauge] = {}
+
+    def counter_inc(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, t: float, value: float) -> None:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        g.sample(t, value)
+
+    def as_dict(self, full_series: bool = False) -> dict:
+        """JSON document, keys sorted (insertion order is an execution
+        detail).  With ``full_series`` each gauge embeds its change points;
+        otherwise only count/last/max plus the series digest (the compact
+        form gated in ``telemetry.json``)."""
+        gauges: dict[str, dict] = {}
+        for name in sorted(self.gauges):
+            g = self.gauges[name]
+            doc: dict = {
+                "points": len(g.samples),
+                "last": g.last,
+                "max": g.max,
+                "digest": g.digest(),
+            }
+            if full_series:
+                doc["samples"] = [[t, v] for t, v in g.samples]
+            gauges[name] = doc
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": gauges,
+        }

@@ -50,6 +50,10 @@ from repro.bsp.machine import BSPMachine
 from repro.bsp.params import MachineParams
 from repro.eig import solve_by_name
 from repro.metrics.attainment import attainment_rollup
+from repro.obs.dash import write_dash
+from repro.obs.perfetto import write_merged_trace
+from repro.obs.report import build_telemetry_doc
+from repro.obs.telemetry import Telemetry
 from repro.serve.cache import TuningCache
 from repro.serve.journal import CRASH_AFTER_ENV, CRASH_EXIT_CODE, read_journal
 from repro.serve.pool import MachinePool
@@ -69,6 +73,10 @@ DEFAULT_RESULT_PATH = Path("benchmarks") / "results" / "BENCH_serve.json"
 DEFAULT_TRACE_PATH = Path("benchmarks") / "results" / "serve_trace.json"
 DEFAULT_CACHE_PATH = Path("benchmarks") / "results" / "serve_tuning_cache.json"
 DEFAULT_SOAK_PATH = Path("benchmarks") / "results" / "serve_soak.json"
+DEFAULT_MERGED_TRACE_PATH = (
+    Path("benchmarks") / "results" / "serve_merged_trace.json"
+)
+DEFAULT_DASH_PATH = Path("benchmarks") / "results" / "serve_dash.html"
 
 #: the serve-bench machine profile: a latency-heavy commodity cluster
 #: (α/γ = 3000) chosen so the planner's regime routing is *exercised* —
@@ -328,6 +336,85 @@ def check_serve(
 
 
 # ------------------------------------------------------------------ #
+# telemetry (PR 10): the observed pass and its gated document
+
+
+def run_telemetry_suite(
+    pinned: dict[str, Any] | None = None,
+    workers: int = 0,
+    capture_solver_spans: bool = True,
+    trace_path: Path | str | None = None,
+    dash_path: Path | str | None = None,
+    log: Callable[[str], None] = print,
+) -> dict[str, Any]:
+    """One telemetry-on pass of the pinned workload → the gated document.
+
+    Runs the pinned workload twice on fresh pools with in-memory tuning
+    caches: once unobserved, once with a :class:`~repro.obs.telemetry.
+    Telemetry` attached (and solver-span capture threaded into every
+    solve).  The two deterministic summaries must agree *exactly* — that
+    is the strict-no-op acceptance gate in its strongest form: observing
+    the service does not change a single simulated quantity.  The
+    telemetry document it returns is itself fully deterministic and is
+    gated against ``benchmarks/results/telemetry.json`` the same way the
+    simulated sections of ``BENCH_serve.json`` are.
+
+    This pass is deliberately **separate** from the three gated
+    wall-clock passes of :func:`run_serve_suite`: span capture slows the
+    solver's wall clock (never its simulated results), so it must not
+    contaminate the throughput numbers.
+    """
+    pinned = pinned or PINNED
+    params = _profile_params(pinned)
+    pool_cfg = pinned["pool"]
+    workload = pinned_workload(pinned)
+
+    def one_pass(telemetry: Telemetry | None) -> tuple[ServeReport, MachinePool]:
+        pool = MachinePool(pool_cfg["machines"], pool_cfg["p"], params)
+        service = EigenService(
+            pool, TuningCache(), algorithm=pinned["algorithm"],
+            workers=workers, telemetry=telemetry,
+        )
+        return service.run_workload(workload), pool
+
+    unobserved, _ = one_pass(None)
+    telemetry = Telemetry(capture_solver_spans=capture_solver_spans)
+    observed, pool = one_pass(telemetry)
+    if deterministic_summary(observed.summary()) != deterministic_summary(
+        unobserved.summary()
+    ):
+        raise BenchError(
+            "telemetry is not a strict no-op: the observed pass's "
+            "deterministic summary differs from the unobserved pass"
+        )
+
+    doc = build_telemetry_doc(
+        telemetry,
+        config={
+            "pool": dict(pool_cfg),
+            "workload": dict(pinned["workload"]),
+            "algorithm": pinned["algorithm"],
+            "capture_solver_spans": bool(capture_solver_spans),
+        },
+    )
+    if trace_path is not None:
+        write_merged_trace(
+            telemetry, trace_path, pool=pool,
+            label="serve-bench pinned workload",
+        )
+    if dash_path is not None:
+        write_dash(doc, dash_path, title="repro serve-bench flight recorder")
+    ev = doc["events"]
+    log(
+        f"telemetry: {ev['count']} lifecycle events, "
+        f"{doc['solver']['span_events']} solver span events across "
+        f"{doc['solver']['attempts_with_spans']} attempts; "
+        "observed pass byte-identical to unobserved (strict no-op holds)"
+    )
+    return doc
+
+
+# ------------------------------------------------------------------ #
 # soak (nightly): solver- and service-level chaos scenarios
 
 DEFAULT_JOURNAL_PATH = Path("benchmarks") / "results" / "serve_journal.jsonl"
@@ -342,6 +429,7 @@ def _soak_service(
     journal: Path | None,
     workers: int = 0,
     fault_seed0: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> EigenService:
     """One soak service instance on the pinned 2×16 pool.
 
@@ -356,10 +444,12 @@ def _soak_service(
         return EigenService(
             pool, TuningCache(), workers=workers,
             scenario=scenario, fault_seed0=fault_seed0, journal=journal,
+            telemetry=telemetry,
         )
     return EigenService(
         pool, TuningCache(), workers=workers,
         faults=scenario, fault_seed0=fault_seed0, journal=journal,
+        telemetry=telemetry,
     )
 
 
@@ -395,6 +485,7 @@ def run_crash_resume(
     journal_path: Path | str = DEFAULT_JOURNAL_PATH,
     crash_after: int | None = None,
     tol: float = 1e-6,
+    dash_path: Path | str | None = None,
     log: Callable[[str], None] = print,
 ) -> dict[str, Any]:
     """The mid-run-crash scenario: kill a serving subprocess, resume, compare.
@@ -435,7 +526,14 @@ def run_crash_resume(
         )
     interrupted = read_journal(journal_path)
 
-    resumed = _soak_service(None, journal_path).run_workload(workload)
+    # the flight recorder observes the *resumed* run (telemetry is a
+    # strict no-op, so the byte-identity compare below still holds)
+    telemetry = (
+        Telemetry(capture_solver_spans=False) if dash_path is not None else None
+    )
+    resumed = _soak_service(
+        None, journal_path, telemetry=telemetry
+    ).run_workload(workload)
     summary_identical = deterministic_summary(
         resumed.summary()
     ) == deterministic_summary(reference.summary())
@@ -468,6 +566,20 @@ def run_crash_resume(
         "resilience": resumed.resilience,
         "slo": resumed.slo,
     }
+    if telemetry is not None and dash_path is not None:
+        tdoc = build_telemetry_doc(
+            telemetry,
+            config={"scenario": "crash", "jobs": jobs, "seed": seed,
+                    "crash_after": crash_after},
+        )
+        write_dash(
+            tdoc, dash_path, title="repro soak flight recorder — crash resume"
+        )
+        doc["dash"] = {
+            "path": str(dash_path),
+            "events": tdoc["events"]["count"],
+            "event_digest": tdoc["events"]["digest"],
+        }
     log(
         f"soak[crash]: killed after {crash_after} journal appends "
         f"({interrupted['attempts']} attempts journaled), resumed "
@@ -487,6 +599,7 @@ def run_soak(
     tol: float = 1e-6,
     workers: int = 0,
     journal_path: Path | str = DEFAULT_JOURNAL_PATH,
+    dash_path: Path | str | None = None,
     log: Callable[[str], None] = print,
 ) -> dict[str, Any]:
     """Serve a workload under a chaos scenario and check the invariants.
@@ -506,7 +619,8 @@ def run_soak(
     """
     if scenario == "crash":
         return run_crash_resume(
-            jobs=jobs, seed=seed, journal_path=journal_path, tol=tol, log=log
+            jobs=jobs, seed=seed, journal_path=journal_path, tol=tol,
+            dash_path=dash_path, log=log,
         )
     if scenario not in SERVICE_SCENARIOS:
         from repro.faults.plan import SCENARIOS
@@ -525,8 +639,15 @@ def run_soak(
         journal_path.unlink()  # each soak run journals from scratch
 
     workload = _soak_workload(jobs, seed)
+    # the flight recorder rides the journaled run; telemetry is a strict
+    # no-op so the determinism compare against the untelemetried rerun
+    # still holds (solver-span capture stays off to keep soak wall cheap)
+    telemetry = (
+        Telemetry(capture_solver_spans=False) if dash_path is not None else None
+    )
     report = _soak_service(
-        scenario, journal_path, workers=workers, fault_seed0=fault_seed0
+        scenario, journal_path, workers=workers, fault_seed0=fault_seed0,
+        telemetry=telemetry,
     ).run_workload(workload)
     rerun = _soak_service(
         scenario, None, workers=workers, fault_seed0=fault_seed0
@@ -560,6 +681,20 @@ def run_soak(
         ),
         "deterministic": deterministic,
     }
+    if telemetry is not None and dash_path is not None:
+        tdoc = build_telemetry_doc(
+            telemetry,
+            config={"scenario": scenario, "jobs": jobs, "seed": seed,
+                    "fault_seed0": fault_seed0},
+        )
+        write_dash(
+            tdoc, dash_path, title=f"repro soak flight recorder — {scenario}"
+        )
+        doc["dash"] = {
+            "path": str(dash_path),
+            "events": tdoc["events"]["count"],
+            "event_digest": tdoc["events"]["digest"],
+        }
     log(
         f"soak[{scenario}]: {doc['ok']}/{doc['jobs']} ok "
         f"({doc['degraded']} degraded, {doc['shed']} shed), "

@@ -63,6 +63,11 @@ class MachinePool:
         """Look up one machine by id (ids are dense, 0-based)."""
         return self.machines[machine_id]
 
+    def track_label(self, machine_id: int) -> str:
+        """Display name of one machine's telemetry track (Perfetto/dash)."""
+        m = self.machines[machine_id]
+        return f"machine {m.machine_id} (p={m.p})"
+
     @property
     def total_ranks(self) -> int:
         return sum(m.p for m in self.machines)

@@ -54,6 +54,7 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.obs.telemetry import BREAKER_STATE_CODES, NO_TELEMETRY
 from repro.serve.pool import MachinePool
 from repro.serve.scheduler import Schedule, ScheduledJob
 
@@ -487,6 +488,7 @@ def run_resilient(
     outcome_for: Callable[[int, Rung, int, int], AttemptOutcome],
     policy: ResiliencePolicy = DEFAULT_POLICY,
     on_terminal: Callable[[JobVerdict], None] | None = None,
+    telemetry: Any = NO_TELEMETRY,
 ) -> ResilientRun:
     """Drive every job to a terminal disposition in exact simulated time.
 
@@ -504,6 +506,12 @@ def run_resilient(
     to the lowest machine id).  Under ``policy.scheduling == "edf"`` the
     scan order is (deadline, arrival, job_id) instead of (arrival,
     job_id).
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`, default the
+    inert :data:`~repro.obs.telemetry.NO_TELEMETRY`) observes every
+    lifecycle transition and samples the loop's gauges — strictly
+    read-only: no decision in this function reads telemetry state, so the
+    run is bit-identical with it on or off.
     """
     order = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
     states = {j.job_id: _JobState(j) for j in order}
@@ -529,6 +537,18 @@ def run_resilient(
     def settle(job_id: int, verdict: JobVerdict) -> None:
         states[job_id].verdict = verdict
         stats.dispositions[verdict.disposition] += 1
+        if telemetry.enabled:
+            latency = verdict.finish - verdict.arrival
+            telemetry.emit(
+                "terminal", verdict.finish, job=job_id,
+                disposition=verdict.disposition, slo=verdict.slo,
+                latency=latency, deadline_hit=verdict.deadline_hit,
+                attempts=verdict.attempts, retries=verdict.retries,
+                hedged=verdict.hedged, machine=verdict.machine_id,
+            )
+            telemetry.counter(f"jobs_{verdict.disposition}")
+            if verdict.disposition != "shed":
+                telemetry.observe_latency(verdict.slo, latency)
         if on_terminal is not None:
             on_terminal(verdict)
 
@@ -547,6 +567,9 @@ def run_resilient(
         )
         return completed_services[k]
 
+    def breaker_event(machine_id: int, prev: str, state: str) -> None:
+        telemetry.emit("breaker", now, machine=machine_id, prev=prev, state=state)
+
     def feed_health(machine_id: int, ok: bool) -> None:
         nonlocal seq
         h = health[machine_id]
@@ -555,6 +578,7 @@ def run_resilient(
             if h.state == "half-open":
                 h.state = "closed"
                 h.cooldown = policy.quarantine.cooldown
+                breaker_event(machine_id, "half-open", "closed")
             h.consecutive_failures = 0
             return
         h.failures += 1
@@ -566,6 +590,8 @@ def run_resilient(
             h.cooldown *= policy.quarantine.cooldown_factor
             h.quarantines += 1
             stats.quarantines += 1
+            breaker_event(machine_id, "half-open", "open")
+            telemetry.counter("quarantines")
             seq += 1
             heapq.heappush(timers, (now + h.cooldown, seq, "probe-open", machine_id))
         elif h.state == "closed":
@@ -574,6 +600,8 @@ def run_resilient(
                 h.state = "open"
                 h.quarantines += 1
                 stats.quarantines += 1
+                breaker_event(machine_id, "closed", "open")
+                telemetry.counter("quarantines")
                 seq += 1
                 heapq.heappush(
                     timers, (now + h.cooldown, seq, "probe-open", machine_id)
@@ -587,6 +615,13 @@ def run_resilient(
         st.in_flight.discard(idx)
         if trial.probe:
             health[trial.machine_id].probe_in_flight = False
+        if telemetry.enabled:
+            telemetry.emit(
+                "attempt_end", trial.finish, job=trial.job_id,
+                attempt=trial.attempt, kind=trial.kind, machine=trial.machine_id,
+                ok=trial.ok, winner=trial.ok and st.verdict is None,
+                late=st.verdict is not None,
+            )
         feed_health(trial.machine_id, trial.ok)
         assert trial.outcome is not None
         bisect.insort(completed_services, trial.outcome.service_time)
@@ -644,17 +679,21 @@ def run_resilient(
                 ),
             )
             return
+        fire_at = now + policy.retry.delay(trial.job_id, st.failures)
+        if telemetry.enabled:
+            telemetry.emit(
+                "retry_scheduled", now, job=trial.job_id,
+                failures=st.failures, fire_at=fire_at,
+            )
         seq += 1
-        heapq.heappush(
-            timers,
-            (now + policy.retry.delay(trial.job_id, st.failures), seq, "retry", trial.job_id),
-        )
+        heapq.heappush(timers, (fire_at, seq, "retry", trial.job_id))
 
     def handle_timer(kind: str, key: int) -> None:
         nonlocal seq
         if kind == "probe-open":
             if health[key].state == "open":
                 health[key].state = "half-open"
+                breaker_event(key, "open", "half-open")
             return
         st = states[key]
         if st.verdict is not None:
@@ -664,6 +703,9 @@ def run_resilient(
             if rung is None:  # ladder dried up between scheduling and firing
                 return
             stats.retries += 1
+            if telemetry.enabled:
+                telemetry.emit("retry_fire", now, job=key, rung=rung.kind)
+                telemetry.counter("retries")
             seq += 1
             ready.append((seq, key, "retry", rung))
         elif kind == "hedge":
@@ -674,14 +716,25 @@ def run_resilient(
             running_trial = trials[min(st.in_flight)]
             st.hedge_launched = True
             stats.hedges += 1
+            if telemetry.enabled:
+                telemetry.emit("hedge_fire", now, job=key)
+                telemetry.counter("hedges")
             seq += 1
             ready.append((seq, key, "hedge", running_trial.rung))
 
     def admit(job: SimJob) -> None:
         nonlocal seq
         limit = policy.admission.queue_limit
+        if telemetry.enabled:
+            telemetry.emit(
+                "submit", job.arrival, job=job.job_id, slo=job.slo,
+                deadline=job.deadline if math.isfinite(job.deadline) else None,
+            )
         if limit > 0 and len(ready) >= limit:
             stats.shed += 1
+            if telemetry.enabled:
+                telemetry.emit("shed", job.arrival, job=job.job_id, slo=job.slo)
+                telemetry.counter("sheds")
             settle(
                 job.job_id,
                 JobVerdict(
@@ -786,14 +839,40 @@ def run_resilient(
                 h.probe_in_flight = True
                 h.probes += 1
                 stats.probes += 1
+            if telemetry.enabled:
+                telemetry.emit(
+                    "dispatch", now, job=job_id, attempt=attempt, kind=kind,
+                    rung=rung.kind, p=rung.p, machine=machine_id, probe=probe,
+                    ok=outcome.ok, finish=finish,
+                )
+                telemetry.counter("dispatches")
+                if probe:
+                    telemetry.counter("probes")
             seq += 1
             heapq.heappush(running, (finish, seq, idx))
             if kind != "hedge" and not st.hedge_launched:
                 tau = hedge_threshold()
                 if tau is not None and outcome.service_time > tau:
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            "hedge_scheduled", now, job=job_id, fire_at=now + tau
+                        )
                     seq += 1
                     heapq.heappush(timers, (now + tau, seq, "hedge", job_id))
         ready = remaining
+
+    def sample_series() -> None:
+        """Change-only gauge sampling at the current loop step (read-only)."""
+        telemetry.gauge("queue_depth", now, float(len(ready)))
+        for m in pool:
+            mid = m.machine_id
+            telemetry.gauge(
+                f"machine{mid}/busy_ranks", now, float(m.p - free[mid])
+            )
+            telemetry.gauge(
+                f"machine{mid}/breaker", now,
+                float(BREAKER_STATE_CODES[health[mid].state]),
+            )
 
     while i < len(order) or ready or running or timers:
         next_arrival = order[i].arrival if i < len(order) else math.inf
@@ -816,6 +895,8 @@ def run_resilient(
             admit(order[i])
             i += 1
         dispatch()
+        if telemetry.enabled:
+            sample_series()
 
     verdicts = {job_id: st.verdict for job_id, st in states.items()}
     missing = [job_id for job_id, v in verdicts.items() if v is None]

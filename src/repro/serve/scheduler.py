@@ -41,6 +41,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.obs.telemetry import NO_TELEMETRY
 from repro.serve.pool import MachinePool
 
 
@@ -131,6 +132,7 @@ def schedule_jobs(
     requests: Sequence[tuple],
     pool: MachinePool,
     policy: str = "fifo",
+    telemetry: Any = NO_TELEMETRY,
 ) -> Schedule:
     """Place ``(job_id, arrival, p, service_time[, deadline])`` requests.
 
@@ -139,6 +141,10 @@ def schedule_jobs(
     considers earliest-deadline-first (deadline, then arrival, then id)
     instead of pure arrival order.  Backfill and best-fit placement are
     identical under both policies.
+
+    ``telemetry`` observes the loop (``sched_dispatch`` events plus a
+    ``sched/queue_depth`` gauge) without influencing any placement — the
+    default :data:`~repro.obs.telemetry.NO_TELEMETRY` is a strict no-op.
 
     Raises ``ValueError`` if any request wants more ranks than the largest
     machine offers (the planner caps p at ``pool.max_ranks``, so this
@@ -192,6 +198,11 @@ def schedule_jobs(
                 continue
             free[best_m] -= p
             finish = now + service
+            if telemetry.enabled:
+                telemetry.emit(
+                    "sched_dispatch", now, job=job_id, p=p,
+                    machine=best_m, finish=finish,
+                )
             heapq.heappush(running, (finish, best_m, p, job_id))
             placed.append(
                 ScheduledJob(
@@ -219,6 +230,8 @@ def schedule_jobs(
             queue.append(pending[i])
             i += 1
         try_dispatch()
+        if telemetry.enabled:
+            telemetry.gauge("sched/queue_depth", now, float(len(queue)))
 
     placed.sort(key=lambda j: j.job_id)
     if placed:

@@ -50,6 +50,7 @@ from repro.bsp.machine import BSPMachine
 from repro.bsp.params import MachineParams
 from repro.eig import solve_by_name
 from repro.metrics.attainment import attainment_ratios
+from repro.obs.telemetry import NO_TELEMETRY, Telemetry
 from repro.serve.cache import TuningCache, cached_replan_delta, model_fingerprint
 from repro.serve.journal import JobJournal
 from repro.serve.planner import DEFAULT_ALGORITHM, Plan, plan_job
@@ -68,6 +69,30 @@ from repro.serve.resilience import (
 from repro.serve.scheduler import Schedule
 from repro.serve.workload import JobSpec, Workload
 from repro.util.matrices import random_symmetric
+
+
+def _json_native(value: Any) -> Any:
+    """Deep-coerce numpy scalars to native python numbers.
+
+    Summary documents are persisted through ``json`` (benches, journals,
+    telemetry), whose repr-float serialization round-trips IEEE doubles
+    exactly — but only for *native* floats; a ``np.float64`` leaking in
+    raises, and a lossy pre-conversion would silently break the journal's
+    byte-identity guarantees.  Coercing at the summary boundary makes
+    summary → JSON → summary exact by construction (regression-tested in
+    ``tests/test_obs.py``).
+    """
+    if isinstance(value, dict):
+        return {k: _json_native(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_native(v) for v in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
 
 
 @dataclass
@@ -168,25 +193,27 @@ class ServeReport:
         return totals
 
     def summary(self) -> dict[str, Any]:
-        return {
-            "jobs": self.jobs,
-            "ok": self.ok_jobs,
-            "errors": self.error_jobs,
-            "shed": self.shed_jobs,
-            "degraded": sum(r.degraded for r in self.results),
-            "retries": sum(r.retries for r in self.results),
-            "wall_s": self.wall_s,
-            "jobs_per_s": self.jobs_per_s,
-            "plan_hits": self.plan_hits,
-            "plan_hit_rate": self.plan_hit_rate,
-            "regimes": self.regimes(),
-            "sim": self.schedule.summary(),
-            "sim_totals": self.sim_totals(),
-            "resilience": self.resilience,
-            "slo": self.slo,
-            "cache": self.cache_stats,
-            "pool": self.pool,
-        }
+        return _json_native(
+            {
+                "jobs": self.jobs,
+                "ok": self.ok_jobs,
+                "errors": self.error_jobs,
+                "shed": self.shed_jobs,
+                "degraded": sum(r.degraded for r in self.results),
+                "retries": sum(r.retries for r in self.results),
+                "wall_s": self.wall_s,
+                "jobs_per_s": self.jobs_per_s,
+                "plan_hits": self.plan_hits,
+                "plan_hit_rate": self.plan_hit_rate,
+                "regimes": self.regimes(),
+                "sim": self.schedule.summary(),
+                "sim_totals": self.sim_totals(),
+                "resilience": self.resilience,
+                "slo": self.slo,
+                "cache": self.cache_stats,
+                "pool": self.pool,
+            }
+        )
 
 
 # ------------------------------------------------------------------ #
@@ -209,6 +236,14 @@ def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
     raised — the parent decides the escalation policy.  The error dict
     carries the *partial* cost the machine accrued before faulting, so a
     failed attempt still has a simulated service time to charge.
+
+    With ``payload["spans"]`` (set by a telemetry-enabled service) the
+    solve runs with span recording on and the outcome carries the solver's
+    :class:`~repro.trace.spans.SpanEvent` tree as plain dicts under
+    ``solver_spans``.  Costs, spectra, and service time are byte-identical
+    either way — span recording only observes (the batched chase engine
+    falls back to its bit-equal per-step path); the flag is deliberately
+    excluded from :func:`_memo_key`.
     """
     from repro.faults.errors import FaultError
 
@@ -216,6 +251,7 @@ def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
     n, seed = payload["n"], payload["seed"]
     p, delta = payload["p"], payload["delta"]
     algorithm = payload["algorithm"]
+    want_spans = bool(payload.get("spans"))
     a = random_symmetric(n, seed=seed)
     if payload.get("faults"):
         from repro.faults import FaultPlan, FaultyMachine
@@ -227,7 +263,16 @@ def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
             spans=True,
         )
     else:
-        machine = BSPMachine(p, params)
+        machine = BSPMachine(p, params, spans=want_spans)
+
+    def solver_spans() -> dict[str, Any]:
+        if not want_spans:
+            return {}
+        return {
+            "solver_p": p,
+            "solver_spans": [ev.as_dict() for ev in machine.spans.events],
+        }
+
     try:
         result = solve_by_name(algorithm, machine, a, delta)
     except FaultError as exc:
@@ -247,6 +292,7 @@ def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
             "service_time": params.time(
                 partial.flops, partial.words, partial.mem_traffic, partial.supersteps
             ),
+            **solver_spans(),
         }
     cost = result.cost
     return {
@@ -264,6 +310,7 @@ def execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
             cost.flops, cost.words, cost.mem_traffic, cost.supersteps
         ),
         "attainment": attainment_ratios(result.stages, result.stage_meta),
+        **solver_spans(),
     }
 
 
@@ -281,8 +328,15 @@ def _memo_key(payload: dict[str, Any]) -> str:
 
 
 def _attempt_to_json(raw: dict[str, Any]) -> dict[str, Any]:
-    """Journal form of a solve outcome (JSON floats round-trip doubles)."""
+    """Journal form of a solve outcome (JSON floats round-trip doubles).
+
+    Captured solver spans are telemetry, not recovery state: they are
+    stripped here so journal bytes are identical with telemetry on or off
+    (a resumed run simply re-attaches no spans for replayed attempts).
+    """
     doc = dict(raw)
+    doc.pop("solver_spans", None)
+    doc.pop("solver_p", None)
     ev = doc.get("eigenvalues")
     if ev is not None:
         doc["eigenvalues"] = [float(x) for x in np.asarray(ev)]
@@ -311,6 +365,7 @@ class EigenService:
         policy: ResiliencePolicy | None = None,
         scenario: str | ServiceScenario | None = None,
         journal: JobJournal | str | Path | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.pool = pool
         self.cache = cache if cache is not None else TuningCache()
@@ -319,6 +374,10 @@ class EigenService:
         self.faults = faults or None
         self.fault_seed0 = fault_seed0
         self.policy = policy if policy is not None else DEFAULT_POLICY
+        #: observability sink; NO_TELEMETRY keeps every hook a no-op and
+        #: (crucially) leaves solve payloads untouched — the telemetry-off
+        #: service is byte-identical to the pre-telemetry one
+        self.telemetry: Any = telemetry if telemetry is not None else NO_TELEMETRY
         if isinstance(scenario, str):
             if scenario not in SERVICE_SCENARIOS:
                 raise ValueError(
@@ -380,6 +439,8 @@ class EigenService:
             "algorithm": self.algorithm,
             "params": _params_payload(self.pool.params),
         }
+        if self.telemetry.capture_solver_spans:
+            payload["spans"] = True
         if (
             self.scenario is None
             and self.faults
@@ -415,10 +476,20 @@ class EigenService:
         wall time while still being fully charged in simulated time.
         """
         t0 = time.perf_counter()
+        telemetry = self.telemetry
         specs = {spec.job_id: spec for spec in workload.jobs}
         plans: dict[int, tuple[Plan, bool]] = {}
         for spec in workload.jobs:
             plans[spec.job_id] = self.plan(spec.n)
+            if telemetry.enabled:
+                plan, hit = plans[spec.job_id]
+                telemetry.emit(
+                    "plan", spec.arrival, job=spec.job_id, n=spec.n,
+                    p=plan.p, delta=plan.delta, cache_hit=bool(hit),
+                )
+                telemetry.counter("plans")
+                if hit:
+                    telemetry.counter("plan_cache_hits")
 
         memo: dict[str, dict[str, Any]] = {}
         journal = self.journal
@@ -466,6 +537,11 @@ class EigenService:
         ) -> AttemptOutcome:
             spec = specs[job_id]
             raw = solve(self._attempt_payload(spec, rung, attempt))
+            if telemetry.capture_solver_spans and "solver_spans" in raw:
+                telemetry.attach_solver_spans(
+                    str(job_id), attempt, int(raw.get("solver_p", rung.p)),
+                    raw["solver_spans"],
+                )
             out = dict(raw)  # never mutate the memoized dict
             service = float(raw.get("service_time", 0.0))
             scen = self.scenario
@@ -518,7 +594,8 @@ class EigenService:
             SimJob(spec.job_id, spec.arrival, spec.slo) for spec in workload.jobs
         ]
         run = run_resilient(
-            sim_jobs, self.pool, rung_for, outcome_for, self.policy, on_terminal
+            sim_jobs, self.pool, rung_for, outcome_for, self.policy, on_terminal,
+            telemetry=telemetry,
         )
         wall = time.perf_counter() - t0
 

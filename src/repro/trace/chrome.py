@@ -35,6 +35,23 @@ if TYPE_CHECKING:
     from repro.trace.spans import SpanRecorder
 
 
+def span_event_args(ev: Any) -> dict[str, Any]:
+    """The ``args`` payload of one span slice, in the canonical key order
+    (path, depth, group_size, F, W, Q, S).  Shared by both exporters here
+    and by the merged service trace in :mod:`repro.obs.perfetto`; the order
+    is load-bearing — the pinned single-track trace is gated byte-for-byte.
+    """
+    return {
+        "path": ev.path,
+        "depth": ev.depth,
+        "group_size": ev.group_size,
+        "F": ev.flops,
+        "W": ev.words,
+        "Q": ev.mem_traffic,
+        "S": ev.supersteps,
+    }
+
+
 def chrome_trace(recorder: "SpanRecorder", label: str = "repro BSP model") -> dict[str, Any]:
     """Build the trace_event document for a recorder's completed spans."""
     events: list[dict[str, Any]] = [
@@ -63,15 +80,7 @@ def chrome_trace(recorder: "SpanRecorder", label: str = "repro BSP model") -> di
                 "tid": 0,
                 "ts": ev.ts,
                 "dur": ev.dur,
-                "args": {
-                    "path": ev.path,
-                    "depth": ev.depth,
-                    "group_size": ev.group_size,
-                    "F": ev.flops,
-                    "W": ev.words,
-                    "Q": ev.mem_traffic,
-                    "S": ev.supersteps,
-                },
+                "args": span_event_args(ev),
             }
         )
     return {
@@ -129,15 +138,7 @@ def chrome_trace_per_rank(
         )
     for ev in recorder.events:
         ranks = ev.ranks if ev.ranks is not None else tuple(range(p))
-        args = {
-            "path": ev.path,
-            "depth": ev.depth,
-            "group_size": ev.group_size,
-            "F": ev.flops,
-            "W": ev.words,
-            "Q": ev.mem_traffic,
-            "S": ev.supersteps,
-        }
+        args = span_event_args(ev)
         for r in ranks:
             events.append(
                 {

@@ -83,6 +83,42 @@ class SpanEvent:
     #: multi-track Chrome export
     ranks: tuple | None = None
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form (floats round-trip IEEE doubles exactly,
+        so a span event shipped across a process boundary — e.g. from a
+        service worker solving one job — reconstructs bit-identically)."""
+        return {
+            "path": self.path,
+            "name": self.name,
+            "depth": self.depth,
+            "group_size": self.group_size,
+            "ts": self.ts,
+            "dur": self.dur,
+            "flops": self.flops,
+            "words": self.words,
+            "mem_traffic": self.mem_traffic,
+            "supersteps": self.supersteps,
+            "ranks": list(self.ranks) if self.ranks is not None else None,
+        }
+
+
+def span_event_from_dict(doc: dict) -> "SpanEvent":
+    """Inverse of :meth:`SpanEvent.as_dict`."""
+    ranks = doc.get("ranks")
+    return SpanEvent(
+        path=str(doc["path"]),
+        name=str(doc["name"]),
+        depth=int(doc["depth"]),
+        group_size=doc["group_size"] if doc.get("group_size") is None else int(doc["group_size"]),
+        ts=float(doc["ts"]),
+        dur=float(doc["dur"]),
+        flops=float(doc["flops"]),
+        words=float(doc["words"]),
+        mem_traffic=float(doc["mem_traffic"]),
+        supersteps=int(doc["supersteps"]),
+        ranks=tuple(ranks) if ranks is not None else None,
+    )
+
 
 class SpanHandle:
     """Context-manager base for spans; the disabled path is a no-op."""
